@@ -1,0 +1,128 @@
+// Command dfsbench prints the DFS experiment tables (E2, E5, E6, E7, E9,
+// E11 of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	dfsbench -experiment e2 [-sizes 64,256,1024] [-families grid,stacked]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"planardfs/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dfsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	experiment := flag.String("experiment", "e2", "one of e2,e5,e6,e7,e9,e11")
+	sizesFlag := flag.String("sizes", "64,256,1024", "comma-separated vertex counts")
+	famFlag := flag.String("families", strings.Join(exp.DefaultFamilies, ","), "comma-separated families")
+	seed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	fams := strings.Split(*famFlag, ",")
+
+	switch *experiment {
+	case "e2":
+		rows, err := exp.E2(fams, sizes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E2 — Theorem 2: DFS rounds, deterministic Õ(D) vs Awerbuch Θ(n)")
+		fmt.Printf("%-12s %7s %5s %7s %8s %12s %12s %10s %10s %10s\n",
+			"family", "n", "D", "phases", "maxJoin", "paper", "pipelined", "awe-thy", "awe-msr", "paper/Dlog3")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %5d %7d %8d %12d %12d %10d %10d %10.2f\n",
+				r.Family, r.N, r.D, r.Phases, r.MaxJoinSubPhases,
+				r.PaperRounds, r.PipelinedRounds, r.AwerbuchTheory, r.AwerbuchMeasured, r.NormPaper)
+		}
+	case "e5":
+		n := sizes[len(sizes)-1]
+		rows, err := exp.E5(fams, n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E5 — Lemma 11: DFS-order fragment merging, phases vs tree depth")
+		fmt.Printf("%-12s %7s %9s %8s %9s %8s\n", "family", "n", "depth", "phases", "log-bound", "PA-ops")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %9d %8d %9d %8d\n",
+				r.Family, r.N, r.TreeDepth, r.Phases, r.LogBound, r.PARounds)
+		}
+	case "e6":
+		n := sizes[len(sizes)-1]
+		rows, err := exp.E6(fams, n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E6 — Lemma 13: MARK-PATH iterations vs path length")
+		fmt.Printf("%-12s %7s %9s %8s %12s %8s\n", "family", "n", "pathLen", "phases", "iterations", "log²n")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %9d %8d %12d %8d\n",
+				r.Family, r.N, r.PathLen, r.Phases, r.Iterations, r.LogSquared)
+		}
+	case "e7":
+		n := sizes[len(sizes)-1]
+		rows, err := exp.E7(fams, n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E7 — Lemma 2: JOIN sub-phase convergence")
+		fmt.Printf("%-12s %7s %8s %10s %9s %9s\n", "family", "n", "phases", "joinTotal", "maxJoin", "log-bnd")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %8d %10d %9d %9d\n",
+				r.Family, r.N, r.Phases, r.JoinSubPhases, r.MaxJoin, r.LogBound)
+		}
+	case "e9":
+		n := sizes[len(sizes)-1]
+		rows, err := exp.E9(fams, n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E9 — §6.2: component shrink per recursion phase")
+		fmt.Printf("%-12s %7s %8s %10s  %s\n", "family", "n", "phases", "maxShrink", "maxComponent trajectory")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %8d %10.3f  %v\n",
+				r.Family, r.N, r.Phases, r.MaxShrink, r.MaxComponent)
+		}
+	case "e11":
+		n := sizes[len(sizes)-1]
+		rows, err := exp.E11(fams, n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E11 — Awerbuch baseline at the message level")
+		fmt.Printf("%-12s %7s %8s %8s %10s\n", "family", "n", "rounds", "bound", "messages")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %8d %8d %10d\n", r.Family, r.N, r.Rounds, r.Bound, r.Messages)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		x, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+// Command planargen generates embedded planar graphs as JSON.
+//
+// Usage:
+//
+//	planargen -family stacked -n 1000 -seed 7 [-o graph.json] [-stats]
+//
+// Families: grid, cylinderish, stacked, sparse, polygon, cycle, wheel, fan,
+// tree, path, caterpillar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"planardfs/internal/gen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "planargen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	family := flag.String("family", "stacked", "graph family")
+	n := flag.Int("n", 100, "approximate vertex count")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print graph statistics to stderr")
+	flag.Parse()
+
+	in, err := gen.ByName(*family, *n, *seed)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "name=%s n=%d m=%d diameter=%d faces=%d\n",
+			in.Name, in.G.N(), in.G.M(), in.G.Diameter(), in.Emb.TraceFaces().Count())
+	}
+	data, err := gen.EncodeJSON(in)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	return os.WriteFile(*out, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,143 @@
+// Command sepbench prints the separator experiment tables (E1, E3, E4, E8,
+// E10, E12 of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	sepbench -experiment e1 [-sizes 64,256,1024,4096] [-families grid,stacked]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"planardfs/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sepbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	experiment := flag.String("experiment", "e1", "one of e1,e3,e4,e8,e10,e12,e13")
+	sizesFlag := flag.String("sizes", "64,256,1024,4096", "comma-separated vertex counts")
+	famFlag := flag.String("families", strings.Join(exp.DefaultFamilies, ","), "comma-separated families")
+	trials := flag.Int("trials", 25, "trials/seeds for statistical experiments")
+	seed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	fams := strings.Split(*famFlag, ",")
+
+	switch *experiment {
+	case "e1":
+		rows, err := exp.E1(fams, sizes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E1 — Theorem 1: cycle separator rounds scale with Õ(D)")
+		fmt.Printf("%-12s %7s %7s %5s %7s %-15s %12s %12s %10s\n",
+			"family", "n", "m", "D", "sepLen", "phase", "paper", "pipelined", "paper/Dlog2")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %7d %5d %7d %-15s %12d %12d %10.2f\n",
+				r.Family, r.N, r.M, r.D, r.SepLen, r.Phase, r.PaperRounds, r.PipelinedRounds, r.NormPaper)
+		}
+	case "e3":
+		n := sizes[len(sizes)-1]
+		rows, err := exp.E3(fams, n, *trials)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E3 — Lemma 1/5: separator balance over random instances")
+		fmt.Printf("%-12s %7s %7s %9s %10s %10s  %s\n",
+			"family", "n", "trials", "balanced", "worst", "exhaust.", "phases")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %7d %9d %10.3f %10d  %v\n",
+				r.Family, r.N, r.Trials, r.Balanced, r.WorstRatio, r.Exhaustive, r.Phases)
+		}
+	case "e4":
+		n := sizes[0]
+		rows, err := exp.E4(fams, n, *trials)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E4 — Lemmas 3-4: deterministic weight formula exactness")
+		fmt.Printf("%-12s %7s %9s %9s\n", "family", "n", "edges", "exact")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %9d %9d\n", r.Family, r.N, r.Edges, r.Exact)
+		}
+	case "e8":
+		n := sizes[len(sizes)-1]
+		rows, err := exp.E8("grid", n, []int{1, 4, 16, 64, 256}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E8 — Prop. 2/4: part-wise aggregation rounds and shortcut quality")
+		fmt.Printf("%7s %5s %5s %10s %10s %10s %8s %8s %10s\n",
+			"n", "D", "k", "measured", "pipe-est", "paper-est", "cong.", "dilat.", "msgs/node")
+		for _, r := range rows {
+			fmt.Printf("%7d %5d %5d %10d %10d %10d %8d %8d %10.1f\n",
+				r.N, r.D, r.K, r.MeasuredRounds, r.PipelinedEst, r.PaperEst,
+				r.MaxCongestion, r.MaxDilation, r.MessagesPerNode)
+		}
+	case "e10":
+		n := sizes[0]
+		rows, err := exp.E10("stacked", n, []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0}, *trials)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E10 — deterministic vs randomized (sampling) separator")
+		fmt.Printf("%7s %8s %7s %9s %9s %11s\n", "n", "rate", "trials", "randOK", "detOK", "avgSamples")
+		for _, r := range rows {
+			fmt.Printf("%7d %8.2f %7d %9d %9d %11.1f\n",
+				r.N, r.SampleRate, r.Trials, r.RandOK, r.DetOK, r.AvgSamples)
+		}
+	case "e12":
+		n := sizes[len(sizes)-1]
+		rows, err := exp.E12(fams, n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E12 — separator size: cycle separator vs BFS-level baseline")
+		fmt.Printf("%-12s %7s %5s %9s %9s %10s %10s\n",
+			"family", "n", "D", "cycleLen", "levelLen", "cycleBal", "levelBal")
+		for _, r := range rows {
+			fmt.Printf("%-12s %7d %5d %9d %9d %10.3f %10.3f\n",
+				r.Family, r.N, r.D, r.CycleSepLen, r.LevelSepLen, r.CycleBalance, r.LevelBalance)
+		}
+	case "e13":
+		n := sizes[0]
+		rows, err := exp.E13(fams, n, *trials)
+		if err != nil {
+			return err
+		}
+		fmt.Println("E13 — ablation: each disabled design element forces fallbacks")
+		fmt.Printf("%-20s %8s %11s %11s %8s\n", "ablation", "trials", "exhaustive", "unbalanced", "errors")
+		for _, r := range rows {
+			fmt.Printf("%-20s %8d %11d %11d %8d\n", r.Ablation, r.Trials, r.Exhaustive, r.Unbalanced, r.Errors)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		x, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}

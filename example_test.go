@@ -1,0 +1,28 @@
+package planardfs_test
+
+import (
+	"fmt"
+
+	"planardfs"
+)
+
+// ExampleFindCycleSeparator demonstrates Theorem 1: a deterministic cycle
+// separator with the 2n/3 balance guarantee.
+func ExampleFindCycleSeparator() {
+	in, _ := planardfs.NewStackedTriangulation(200, 7)
+	cfg, _ := planardfs.NewConfig(in, planardfs.TreeBFS, planardfs.OuterRoot(in))
+	sep, _ := planardfs.FindCycleSeparator(cfg)
+	maxComp := planardfs.VerifySeparatorBalance(in.G, sep.Path)
+	fmt.Println("balanced:", 3*maxComp <= 2*in.G.N())
+	// Output: balanced: true
+}
+
+// ExampleBuildDFSTree demonstrates Theorem 2: a verified DFS tree built by
+// recursive separator joining.
+func ExampleBuildDFSTree() {
+	in, _ := planardfs.NewGrid(10, 10)
+	root := planardfs.OuterRoot(in)
+	tree, _, _ := planardfs.BuildDFSTree(in, root)
+	fmt.Println("valid DFS tree:", planardfs.VerifyDFSTree(in.G, root, tree.Parent) == nil)
+	// Output: valid DFS tree: true
+}

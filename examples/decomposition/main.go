@@ -1,0 +1,55 @@
+// Recursive separator decomposition — the classical Lipton-Tarjan
+// divide-and-conquer application: repeatedly split the graph with cycle
+// separators until pieces are small, reporting the recursion depth
+// (O(log n) by the 2/3 balance) and the total separator mass.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"planardfs"
+)
+
+func main() {
+	in, err := planardfs.NewStackedTriangulation(2000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := in.G.N()
+	fmt.Printf("graph: %s  n=%d m=%d\n", in.Name, n, in.G.M())
+
+	const leafSize = 20
+
+	d, err := planardfs.DecomposeGraph(in, leafSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	levelSep := map[int]int{}
+	d.Walk(func(node *planardfs.DecompositionNode) {
+		levelSep[node.Depth] += len(node.Separator)
+	})
+
+	fmt.Printf("leaf pieces (≤%d vertices): %d\n", leafSize, d.Leaves)
+	fmt.Printf("recursion depth: %d (log_{3/2} of n ≈ %.0f)\n", d.MaxDepth, log32(n))
+	fmt.Printf("total separator mass: %d vertices (%.1f%% of n)\n",
+		d.SeparatorMass, 100*float64(d.SeparatorMass)/float64(n))
+	var levels []int
+	for l := range levelSep {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		fmt.Printf("  level %2d: separator vertices %d\n", l, levelSep[l])
+	}
+}
+
+func log32(n int) float64 {
+	x, c := float64(n), 0.0
+	for x > 1 {
+		x /= 1.5
+		c++
+	}
+	return c
+}

@@ -1,0 +1,60 @@
+// DFS tree construction (Theorem 2) on a grid, with verification and a
+// round-cost comparison against Awerbuch's classical O(n) algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"planardfs"
+)
+
+func main() {
+	in, err := planardfs.NewGrid(24, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := in.G.N()
+	d := in.G.Diameter()
+	root := planardfs.OuterRoot(in)
+	fmt.Printf("graph: %s  n=%d  D=%d  root=%d\n", in.Name, n, d, root)
+
+	tree, trace, err := planardfs.BuildDFSTree(in, root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := planardfs.VerifyDFSTree(in.G, root, tree.Parent); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DFS tree verified: every edge connects an ancestor-descendant pair\n")
+	fmt.Printf("recursion phases: %d (log_{3/2} n ≈ %.1f)\n", trace.Phases, logBase(1.5, n))
+	fmt.Printf("max component per phase: %v\n", trace.MaxComponent)
+	fmt.Printf("separator phases used: %v\n", trace.SeparatorPhases)
+	fmt.Printf("join sub-phases: total %d, max per join %d\n",
+		trace.JoinSubPhases, trace.MaxJoinSubPhases)
+
+	cm := planardfs.PaperCost{D: d, N: n}
+	det := planardfs.DFSRounds(n, trace, cm)
+	awe := planardfs.AwerbuchRounds(n)
+	fmt.Printf("simulated rounds: deterministic Õ(D) = %d, Awerbuch Θ(n) = %d\n", det, awe)
+
+	// Run Awerbuch for real at the message level.
+	parent, stats, err := planardfs.RunAwerbuchDFS(in.G, root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := planardfs.VerifyDFSTree(in.G, root, parent); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Awerbuch (message-level): %d rounds, %d messages\n",
+		stats.Rounds, stats.Messages)
+}
+
+func logBase(b float64, n int) float64 {
+	x, c := float64(n), 0.0
+	for x > 1 {
+		x /= b
+		c++
+	}
+	return c
+}

@@ -1,0 +1,48 @@
+// Quickstart: build an embedded planar graph, compute a deterministic cycle
+// separator (Theorem 1), and verify the guarantees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"planardfs"
+)
+
+func main() {
+	// A random maximal planar graph with 500 vertices.
+	in, err := planardfs.NewStackedTriangulation(500, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := in.G.N()
+	fmt.Printf("graph: %s  n=%d m=%d diameter=%d\n", in.Name, n, in.G.M(), in.G.Diameter())
+
+	// A planar configuration: embedding + BFS spanning tree rooted on the
+	// outer face.
+	cfg, err := planardfs.NewConfig(in, planardfs.TreeBFS, planardfs.OuterRoot(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Theorem 1: the deterministic cycle separator.
+	sep, err := planardfs.FindCycleSeparator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("separator: %d vertices (T-path %d..%d), found by phase %q\n",
+		len(sep.Path), sep.EndA, sep.EndB, sep.Phase)
+
+	// Verify the 2n/3 balance guarantee.
+	maxComp := planardfs.VerifySeparatorBalance(in.G, sep.Path)
+	fmt.Printf("largest remaining component: %d of %d (bound %d)\n", maxComp, n, 2*n/3)
+	if 3*maxComp > 2*n {
+		log.Fatal("unbalanced separator — this must never happen")
+	}
+
+	// Round cost under the paper's charged shortcut bound.
+	d := in.G.Diameter()
+	cm := planardfs.PaperCost{D: d, N: n}
+	fmt.Printf("simulated CONGEST rounds (paper model, D=%d): %d\n",
+		d, planardfs.SeparatorRounds(n, cm, 1))
+}

@@ -1,0 +1,3 @@
+module planardfs
+
+go 1.22

@@ -1,0 +1,80 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"planardfs/internal/gen"
+	"planardfs/internal/spanning"
+)
+
+func TestAncestorSum(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	tree, err := spanning.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := make([]int, g.N())
+	for v := range value {
+		value[v] = v + 1
+	}
+	nw := New(g)
+	nodes := NewAncestorSumNodes(nw, tree.Parent, 0, value, OpSum)
+	rounds, err := nw.Run(nodes, 10*g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		want := 0
+		for x := v; x != -1; x = tree.Parent[x] {
+			want += value[x]
+		}
+		if got := nodes[v].(*AncestorSumNode).Prefix; got != want {
+			t.Fatalf("node %d: prefix %d, want %d", v, got, want)
+		}
+	}
+	if rounds > tree.MaxDepth()+3 {
+		t.Fatalf("rounds %d for depth %d", rounds, tree.MaxDepth())
+	}
+}
+
+// Property: ancestor sums agree with the tree on random planar instances
+// and deep spanning trees (the Θ(n)-depth stress case).
+func TestAncestorSumDeepProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 4 + int(sz)%60
+		in, err := gen.SparsePlanar(n, 0.4, seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		root := rng.Intn(n)
+		tree, err := spanning.DeepDFSTree(in.G, root)
+		if err != nil {
+			return false
+		}
+		value := make([]int, n)
+		for v := range value {
+			value[v] = rng.Intn(100)
+		}
+		nw := New(in.G)
+		nodes := NewAncestorSumNodes(nw, tree.Parent, root, value, OpSum)
+		if _, err := nw.Run(nodes, 10*n+10); err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			want := 0
+			for x := v; x != -1; x = tree.Parent[x] {
+				want += value[x]
+			}
+			if nodes[v].(*AncestorSumNode).Prefix != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package congest
+
+import (
+	"testing"
+
+	"planardfs/internal/gen"
+	"planardfs/internal/graph"
+	"planardfs/internal/spanning"
+)
+
+// runBoruvka executes the message-level Borůvka and returns the forest
+// edges and per-node fragments.
+func runBoruvka(t *testing.T, g *graph.Graph, partOf []int) ([]graph.Edge, []int, int) {
+	t.Helper()
+	nw := New(g)
+	nodes := NewBoruvkaNodes(nw, partOf)
+	n := g.N()
+	phaseLen := 2*n + 4
+	rounds, err := nw.Run(nodes, phaseLen*(20+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[graph.Edge]bool{}
+	var forest []graph.Edge
+	frag := make([]int, n)
+	for v := 0; v < n; v++ {
+		bn := nodes[v].(*BoruvkaNode)
+		frag[v] = bn.Fragment
+		for p, on := range bn.ForestPorts {
+			if !on {
+				continue
+			}
+			e := graph.Edge{U: v, V: bn.info.Neighbors[p]}.Normalize()
+			if !seen[e] {
+				seen[e] = true
+				forest = append(forest, e)
+			}
+		}
+	}
+	return forest, frag, rounds
+}
+
+func TestBoruvkaSinglePart(t *testing.T) {
+	in, err := gen.StackedTriangulation(60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partOf := make([]int, in.G.N())
+	forest, frag, rounds := runBoruvka(t, in.G, partOf)
+	if len(forest) != in.G.N()-1 {
+		t.Fatalf("forest has %d edges, want %d", len(forest), in.G.N()-1)
+	}
+	// The forest is a spanning tree: build it and validate.
+	tg := graph.New(in.G.N())
+	for _, e := range forest {
+		tg.MustAddEdge(e.U, e.V)
+	}
+	if !tg.Connected() {
+		t.Fatal("forest not connected")
+	}
+	for v, f := range frag {
+		if f != 0 {
+			t.Fatalf("node %d fragment %d, want 0 (min ID)", v, f)
+		}
+	}
+	// O(n log n) round bound with the fixed phase length.
+	n := in.G.N()
+	phaseLen := 2*n + 4
+	if rounds > phaseLen*9 {
+		t.Fatalf("rounds %d exceed %d phases", rounds, 9)
+	}
+}
+
+func TestBoruvkaPerPartForest(t *testing.T) {
+	in, err := gen.Grid(10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three vertical stripes.
+	partOf := make([]int, in.G.N())
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 10; x++ {
+			partOf[y*10+x] = x / 4
+		}
+	}
+	forest, frag, _ := runBoruvka(t, in.G, partOf)
+	// Every forest edge stays within its part.
+	for _, e := range forest {
+		if partOf[e.U] != partOf[e.V] {
+			t.Fatalf("forest edge %v crosses parts", e)
+		}
+	}
+	// Per part: spanning tree (|P|-1 edges, connected) and fragment = min
+	// member ID.
+	parts := map[int][]int{}
+	for v, p := range partOf {
+		parts[p] = append(parts[p], v)
+	}
+	for p, vs := range parts {
+		cnt := 0
+		for _, e := range forest {
+			if partOf[e.U] == p {
+				cnt++
+			}
+		}
+		if cnt != len(vs)-1 {
+			t.Fatalf("part %d: %d forest edges for %d vertices", p, cnt, len(vs))
+		}
+		minID := vs[0]
+		for _, v := range vs {
+			if v < minID {
+				minID = v
+			}
+		}
+		for _, v := range vs {
+			if frag[v] != minID {
+				t.Fatalf("part %d: node %d fragment %d, want %d", p, v, frag[v], minID)
+			}
+		}
+	}
+}
+
+// The message-level forest must agree in shape with the phase-level
+// simulation: same per-part connectivity (edge sets may differ since MOE
+// tie-breaking differs, but both must be spanning trees).
+func TestBoruvkaMatchesPhaseLevelShape(t *testing.T) {
+	in, err := gen.SparsePlanar(40, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partOf := make([]int, in.G.N())
+	forest, _, _ := runBoruvka(t, in.G, partOf)
+	tg := graph.New(in.G.N())
+	for _, e := range forest {
+		tg.MustAddEdge(e.U, e.V)
+	}
+	bt, err := spanning.BFSTree(tg, 0)
+	if err != nil {
+		t.Fatalf("message-level forest is not a spanning tree: %v", err)
+	}
+	if bt.N() != in.G.N() {
+		t.Fatal("size mismatch")
+	}
+}

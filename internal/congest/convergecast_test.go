@@ -1,0 +1,108 @@
+package congest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"planardfs/internal/gen"
+	"planardfs/internal/spanning"
+)
+
+func TestConvergecastSum(t *testing.T) {
+	g := gridGraph(t, 7, 5)
+	tree, err := spanning.BFSTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := make([]int, g.N())
+	want := 0
+	for v := range value {
+		value[v] = v*3 + 1
+		want += value[v]
+	}
+	nw := New(g)
+	nodes := NewConvergecastNodes(nw, tree.Parent, 0, value, OpSum)
+	rounds, err := nw.Run(nodes, 10*g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nodes[0].(*ConvergecastNode).Subtree; got != want {
+		t.Fatalf("root aggregate %d, want %d", got, want)
+	}
+	// Every node's subtree aggregate matches the tree.
+	for v := 0; v < g.N(); v++ {
+		wantSub := 0
+		for u := 0; u < g.N(); u++ {
+			if tree.IsAncestor(v, u) {
+				wantSub += value[u]
+			}
+		}
+		if got := nodes[v].(*ConvergecastNode).Subtree; got != wantSub {
+			t.Fatalf("node %d subtree %d, want %d", v, got, wantSub)
+		}
+	}
+	// Completes in about the tree depth.
+	if rounds > tree.MaxDepth()+3 {
+		t.Fatalf("rounds %d for depth %d", rounds, tree.MaxDepth())
+	}
+}
+
+// Property: convergecast subtree counts equal SubtreeSize with all-ones
+// inputs on random planar graphs.
+func TestConvergecastCountsProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz)%60
+		in, err := gen.StackedTriangulation(n, seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		root := rng.Intn(n)
+		tree, err := spanning.BFSTree(in.G, root)
+		if err != nil {
+			return false
+		}
+		value := make([]int, n)
+		for v := range value {
+			value[v] = 1
+		}
+		nw := New(in.G)
+		nodes := NewConvergecastNodes(nw, tree.Parent, root, value, OpSum)
+		if _, err := nw.Run(nodes, 10*n); err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if nodes[v].(*ConvergecastNode).Subtree != tree.SubtreeSize(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergecastMinMax(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	tree, _ := spanning.BFSTree(g, 0)
+	value := make([]int, g.N())
+	for v := range value {
+		value[v] = (v*11 + 5) % 37
+	}
+	for _, op := range []AggOp{OpMin, OpMax} {
+		nw := New(g)
+		nodes := NewConvergecastNodes(nw, tree.Parent, 0, value, op)
+		if _, err := nw.Run(nodes, 1000); err != nil {
+			t.Fatal(err)
+		}
+		want := value[0]
+		for _, x := range value[1:] {
+			want = op.combine(want, x)
+		}
+		if got := nodes[0].(*ConvergecastNode).Subtree; got != want {
+			t.Fatalf("op %d: %d, want %d", op, got, want)
+		}
+	}
+}

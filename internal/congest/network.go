@@ -1,0 +1,251 @@
+// Package congest simulates the synchronous CONGEST model: a network of
+// nodes, one per graph vertex, exchanging O(log n)-bit messages over graph
+// edges in lockstep rounds.
+//
+// A simulation is deterministic: nodes step in a fixed logical order, and
+// the parallel engine (one goroutine per CPU over fixed vertex chunks with a
+// barrier per round) produces results bit-identical to the sequential
+// engine.
+//
+// Bandwidth is enforced: per round, at most one message may cross each edge
+// in each direction, and each message carries at most MaxWords words, a word
+// being ceil(log2 n) bits. Violations abort the run with an error rather
+// than silently under-counting rounds.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"planardfs/internal/graph"
+)
+
+// Message is a CONGEST message: a program-defined kind tag plus up to
+// MaxWords-1 word-sized arguments (the kind counts as one word).
+type Message struct {
+	Kind int
+	Args []int
+}
+
+// Words returns the bandwidth cost of the message in words.
+func (m Message) Words() int { return 1 + len(m.Args) }
+
+// Incoming is a received message together with the port it arrived on.
+type Incoming struct {
+	Port int
+	Msg  Message
+}
+
+// Outgoing is a message to send on a port of the sending node.
+type Outgoing struct {
+	Port int
+	Msg  Message
+}
+
+// Node is a per-vertex CONGEST program. Round is called once per round with
+// the messages delivered this round (sent by neighbours in the previous
+// round); it returns the messages to send and whether the node has halted.
+// A halted node's Round is still called (it may be woken by late messages);
+// the network stops when every node reports done in a round with no
+// messages in flight.
+type Node interface {
+	Round(round int, recv []Incoming) (send []Outgoing, done bool)
+}
+
+// NodeInfo is the local knowledge every CONGEST node starts with: its own
+// identifier, and the identifier at the far end of each incident port.
+type NodeInfo struct {
+	ID        int
+	Neighbors []int // Neighbors[port] is the neighbour's vertex ID.
+	N         int   // number of nodes in the network (known bound)
+}
+
+// Stats aggregates instrumentation for a run.
+type Stats struct {
+	Rounds        int
+	Messages      int64
+	Words         int64
+	MaxEdgeLoad   int64 // max messages carried by a single edge over the run
+	MaxRoundWords int64 // max words sent network-wide in one round
+}
+
+// Network simulates a CONGEST network over a graph.
+type Network struct {
+	G *graph.Graph
+	// MaxWords bounds the size of a single message in words
+	// (1 word = ceil(log2 n) bits). Default 4.
+	MaxWords int
+	// Parallel selects the goroutine-per-chunk round engine.
+	Parallel bool
+
+	stats Stats
+}
+
+// New returns a network over g with default settings (4-word messages,
+// parallel engine).
+func New(g *graph.Graph) *Network {
+	return &Network{G: g, MaxWords: 4, Parallel: true}
+}
+
+// Stats returns instrumentation from the last Run.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Info returns the initial local knowledge of vertex v.
+func (nw *Network) Info(v int) NodeInfo {
+	return NodeInfo{ID: v, Neighbors: nw.G.Neighbors(v), N: nw.G.N()}
+}
+
+// ErrRoundLimit is returned when a run exceeds its round budget.
+var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+// Run executes the nodes until global termination (all nodes done and no
+// messages in flight) or until maxRounds rounds have elapsed. It returns
+// the number of rounds executed.
+func (nw *Network) Run(nodes []Node, maxRounds int) (int, error) {
+	n := nw.G.N()
+	if len(nodes) != n {
+		return 0, fmt.Errorf("congest: %d nodes for %d vertices", len(nodes), n)
+	}
+	maxWords := nw.MaxWords
+	if maxWords <= 0 {
+		maxWords = 4
+	}
+	nw.stats = Stats{}
+	edgeLoad := make([]int64, nw.G.M())
+
+	// Precompute the receiving port of every edge at each endpoint.
+	portAtU := make([]int, nw.G.M())
+	portAtV := make([]int, nw.G.M())
+	for v := 0; v < n; v++ {
+		for p, id := range nw.G.IncidentEdges(v) {
+			if nw.G.EdgeByID(id).U == v {
+				portAtU[id] = p
+			} else {
+				portAtV[id] = p
+			}
+		}
+	}
+
+	// Port tables: port p of v corresponds to incident edge
+	// G.IncidentEdges(v)[p]; portAt[e] maps the edge to the port index at
+	// each endpoint.
+	inboxes := make([][]Incoming, n)
+	outboxes := make([][]Outgoing, n)
+	dones := make([]bool, n)
+	errs := make([]error, n)
+
+	step := func(round, v int) {
+		send, done := nodes[v].Round(round, inboxes[v])
+		seen := make(map[int]bool, len(send))
+		for _, out := range send {
+			if out.Port < 0 || out.Port >= nw.G.Degree(v) {
+				errs[v] = fmt.Errorf("congest: node %d sent on invalid port %d", v, out.Port)
+				return
+			}
+			if seen[out.Port] {
+				errs[v] = fmt.Errorf("congest: node %d sent two messages on port %d in one round", v, out.Port)
+				return
+			}
+			seen[out.Port] = true
+			if out.Msg.Words() > maxWords {
+				errs[v] = fmt.Errorf("congest: node %d message of %d words exceeds limit %d", v, out.Msg.Words(), maxWords)
+				return
+			}
+		}
+		outboxes[v] = send
+		dones[v] = done
+	}
+
+	workers := runtime.NumCPU()
+	if !nw.Parallel || workers > n {
+		workers = 1
+	}
+
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return round, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
+		}
+		// Step all nodes.
+		if workers == 1 {
+			for v := 0; v < n; v++ {
+				step(round, v)
+			}
+		} else {
+			var wg sync.WaitGroup
+			chunk := (n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo, hi := w*chunk, (w+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for v := lo; v < hi; v++ {
+						step(round, v)
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		for v := 0; v < n; v++ {
+			if errs[v] != nil {
+				return round, errs[v]
+			}
+		}
+
+		// Deliver messages.
+		var roundWords int64
+		inFlight := false
+		for v := 0; v < n; v++ {
+			inboxes[v] = inboxes[v][:0]
+		}
+		for v := 0; v < n; v++ {
+			for _, out := range outboxes[v] {
+				id := nw.G.IncidentEdges(v)[out.Port]
+				w := nw.G.EdgeByID(id).Other(v)
+				// The receiving port at w.
+				rp := portAtU[id]
+				if w != nw.G.EdgeByID(id).U {
+					rp = portAtV[id]
+				}
+				inboxes[w] = append(inboxes[w], Incoming{Port: rp, Msg: out.Msg})
+				nw.stats.Messages++
+				words := int64(out.Msg.Words())
+				nw.stats.Words += words
+				roundWords += words
+				edgeLoad[id]++
+				inFlight = true
+			}
+			outboxes[v] = nil
+		}
+		if roundWords > nw.stats.MaxRoundWords {
+			nw.stats.MaxRoundWords = roundWords
+		}
+		nw.stats.Rounds = round + 1
+
+		if !inFlight {
+			all := true
+			for v := 0; v < n; v++ {
+				if !dones[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+		}
+	}
+	for _, l := range edgeLoad {
+		if l > nw.stats.MaxEdgeLoad {
+			nw.stats.MaxEdgeLoad = l
+		}
+	}
+	return nw.stats.Rounds, nil
+}

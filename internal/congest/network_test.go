@@ -1,0 +1,64 @@
+package congest
+
+import (
+	"testing"
+)
+
+func TestMessageWords(t *testing.T) {
+	if (Message{Kind: 1}).Words() != 1 {
+		t.Fatal("kind-only message should cost 1 word")
+	}
+	if (Message{Kind: 1, Args: []int{1, 2, 3}}).Words() != 4 {
+		t.Fatal("3-arg message should cost 4 words")
+	}
+}
+
+func TestAggOpCombine(t *testing.T) {
+	cases := []struct {
+		op      AggOp
+		a, b, w int
+	}{
+		{OpSum, 3, 4, 7},
+		{OpMin, 3, 4, 3},
+		{OpMin, 4, 3, 3},
+		{OpMax, 3, 4, 4},
+		{OpMax, 4, 3, 4},
+	}
+	for _, c := range cases {
+		if got := c.op.combine(c.a, c.b); got != c.w {
+			t.Errorf("op %d combine(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op should panic")
+		}
+	}()
+	AggOp(0).combine(1, 2)
+}
+
+func TestRunNodeCountMismatch(t *testing.T) {
+	g := gridGraph(t, 2, 2)
+	nw := New(g)
+	if _, err := nw.Run([]Node{&silentNode{}}, 10); err == nil {
+		t.Fatal("wrong node count accepted")
+	}
+}
+
+func TestInfoContents(t *testing.T) {
+	g := gridGraph(t, 3, 3)
+	nw := New(g)
+	info := nw.Info(0)
+	if info.ID != 0 || info.N != 9 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Neighbors) != g.Degree(0) {
+		t.Fatal("neighbour count wrong")
+	}
+	for p, w := range info.Neighbors {
+		id := g.IncidentEdges(0)[p]
+		if g.EdgeByID(id).Other(0) != w {
+			t.Fatal("port order inconsistent with incident edges")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+
+	"planardfs/internal/graph"
+	"planardfs/internal/planar"
+	"planardfs/internal/separator"
+)
+
+// Trace records the structure of a DFS-tree construction run, from which
+// the round cost under any cost model is derived (see package dist).
+type Trace struct {
+	// Phases is the number of outer recursion phases (O(log n) by the 2/3
+	// component shrink).
+	Phases int
+	// MaxComponent[i] is the largest remaining component at the start of
+	// phase i.
+	MaxComponent []int
+	// SeparatorCalls counts per-component separator computations (run in
+	// parallel within a phase in the distributed model).
+	SeparatorCalls int
+	// JoinSubPhases is the total number of join sub-phases over all phases;
+	// MaxJoinSubPhases is the largest single JOIN-PROBLEM's sub-phase count
+	// (joins of distinct components run in parallel).
+	JoinSubPhases    int
+	MaxJoinSubPhases int
+	// SeparatorPhases tallies which separator phases produced the cuts.
+	SeparatorPhases map[separator.Phase]int
+}
+
+// Build computes a DFS tree of the embedded planar graph rooted at root by
+// the main algorithm of Section 3.2/6.2: per phase, a cycle separator of
+// every remaining component is computed (Theorem 1) and joined to the
+// partial DFS tree by the DFS-RULE (Lemma 2).
+func Build(g *graph.Graph, emb *planar.Embedding, outerDart, root int) (*PartialTree, *Trace, error) {
+	if !g.Connected() {
+		return nil, nil, fmt.Errorf("dfs: graph is not connected")
+	}
+	outerFace := emb.OuterFaceOf(outerDart)
+	pt := NewPartialTree(g.N(), root)
+	tr := &Trace{SeparatorPhases: map[separator.Phase]int{}}
+	for !pt.Complete() {
+		tr.Phases++
+		if tr.Phases > g.N()+2 {
+			return nil, nil, fmt.Errorf("dfs: did not converge")
+		}
+		comps := remainingComponents(g, pt)
+		maxC := 0
+		for _, c := range comps {
+			if len(c) > maxC {
+				maxC = len(c)
+			}
+		}
+		tr.MaxComponent = append(tr.MaxComponent, maxC)
+		for _, comp := range comps {
+			sep, err := separator.ForSubset(emb, outerFace, comp)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dfs: phase %d: %w", tr.Phases, err)
+			}
+			tr.SeparatorCalls++
+			tr.SeparatorPhases[sep.Phase]++
+			st, err := JoinSeparator(g, pt, comp, sep.Path)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dfs: phase %d join: %w", tr.Phases, err)
+			}
+			tr.JoinSubPhases += st.SubPhases
+			if st.SubPhases > tr.MaxJoinSubPhases {
+				tr.MaxJoinSubPhases = st.SubPhases
+			}
+		}
+	}
+	if err := IsDFSTree(g, root, pt.Parent); err != nil {
+		return nil, nil, fmt.Errorf("dfs: output invalid: %w", err)
+	}
+	return pt, tr, nil
+}
+
+// remainingComponents lists the connected components of G minus the partial
+// tree, each sorted ascending, ordered by smallest vertex.
+func remainingComponents(g *graph.Graph, pt *PartialTree) [][]int {
+	removed := map[int]bool{}
+	for v := 0; v < g.N(); v++ {
+		if pt.Has(v) {
+			removed[v] = true
+		}
+	}
+	comps := g.ComponentsAvoiding(removed)
+	for _, c := range comps {
+		sort.Ints(c)
+	}
+	return comps
+}

@@ -1,0 +1,202 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+
+	"planardfs/internal/graph"
+)
+
+// JoinStats reports the work of one JOIN-PROBLEM invocation (Lemma 2).
+type JoinStats struct {
+	// SubPhases counts the path-attachment rounds used until the whole
+	// separator set was absorbed.
+	SubPhases int
+	// Remaining[i] is the number of separator vertices still missing after
+	// sub-phase i (Remaining[0] is the initial count); the paper proves a
+	// geometric decrease.
+	Remaining []int
+}
+
+// JoinSeparator adds every vertex of the separator set (a subset of the
+// component comp of G - T_d) to the partial tree following the DFS-RULE
+// (Lemma 2). In each sub-phase, every remaining component that still holds
+// separator vertices is entered at its vertex with the deepest T_d
+// neighbour, a spanning tree preferring separator-separator edges is grown
+// from there, and the root path holding the most separator vertices is
+// attached.
+func JoinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int) (*JoinStats, error) {
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		if pt.Has(v) {
+			return nil, fmt.Errorf("dfs: component vertex %d already added", v)
+		}
+		inComp[v] = true
+	}
+	missing := map[int]bool{}
+	for _, v := range sep {
+		if !inComp[v] {
+			return nil, fmt.Errorf("dfs: separator vertex %d outside component", v)
+		}
+		missing[v] = true
+	}
+	st := &JoinStats{Remaining: []int{len(missing)}}
+	for len(missing) > 0 {
+		st.SubPhases++
+		if st.SubPhases > g.N()+2 {
+			return nil, fmt.Errorf("dfs: join did not converge")
+		}
+		// Components of the not-yet-added part of comp.
+		for _, x := range componentsWithin(g, inComp, pt) {
+			holds := false
+			for _, v := range x {
+				if missing[v] {
+					holds = true
+					break
+				}
+			}
+			if !holds {
+				continue
+			}
+			if err := attachBestPath(g, pt, x, missing); err != nil {
+				return nil, err
+			}
+		}
+		cnt := 0
+		for v := range missing {
+			if pt.Has(v) {
+				delete(missing, v)
+			} else {
+				cnt++
+			}
+		}
+		st.Remaining = append(st.Remaining, cnt)
+	}
+	return st, nil
+}
+
+// componentsWithin returns the connected components of the not-yet-added
+// vertices of the component set, each sorted ascending.
+func componentsWithin(g *graph.Graph, inComp map[int]bool, pt *PartialTree) [][]int {
+	seen := map[int]bool{}
+	var order []int
+	for v := range inComp {
+		order = append(order, v)
+	}
+	sort.Ints(order)
+	var comps [][]int
+	for _, v := range order {
+		if seen[v] || pt.Has(v) {
+			continue
+		}
+		var comp []int
+		queue := []int{v}
+		seen[v] = true
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			comp = append(comp, x)
+			for _, w := range g.Neighbors(x) {
+				if inComp[w] && !seen[w] && !pt.Has(w) {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// attachBestPath grows a spanning tree of the component x from its
+// DFS-RULE entry vertex, preferring separator-separator edges (the 0/1
+// shortest-path tree standing in for the paper's 0/1-weight MST), finds the
+// separator vertex whose root path carries the most separator vertices
+// (an ANCESTOR-SUM in the distributed accounting), and attaches that path.
+func attachBestPath(g *graph.Graph, pt *PartialTree, x []int, missing map[int]bool) error {
+	entry, anchor := pt.DeepestNeighborIn(g, x)
+	if entry < 0 {
+		return fmt.Errorf("dfs: component has no neighbour in the partial tree")
+	}
+	inX := make(map[int]bool, len(x))
+	for _, v := range x {
+		inX[v] = true
+	}
+	// 0/1 BFS from entry: separator-separator edges cost 0.
+	parent := map[int]int{entry: -1}
+	dist := map[int]int{entry: 0}
+	settled := map[int]bool{}
+	deque := []int{entry}
+	for len(deque) > 0 {
+		v := deque[0]
+		deque = deque[1:]
+		if settled[v] {
+			continue
+		}
+		settled[v] = true
+		for _, w := range g.Neighbors(v) {
+			if !inX[w] || settled[w] {
+				continue
+			}
+			cost := 1
+			if missing[v] && missing[w] {
+				cost = 0
+			}
+			d := dist[v] + cost
+			if old, ok := dist[w]; !ok || d < old {
+				dist[w] = d
+				parent[w] = v
+				if cost == 0 {
+					deque = append([]int{w}, deque...)
+				} else {
+					deque = append(deque, w)
+				}
+			}
+		}
+	}
+	// Count separator vertices on each root path (an ancestor sum) and pick
+	// the best target.
+	children := map[int][]int{}
+	for _, v := range x {
+		if p, ok := parent[v]; ok && p != -1 {
+			children[p] = append(children[p], v)
+		}
+	}
+	cnt := map[int]int{}
+	stack := []int{entry}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := 0
+		if p := parent[v]; p != -1 {
+			c = cnt[p]
+		}
+		if missing[v] {
+			c++
+		}
+		cnt[v] = c
+		stack = append(stack, children[v]...)
+	}
+	best, bestCnt := -1, 0
+	for _, v := range x {
+		if !missing[v] {
+			continue
+		}
+		if c := cnt[v]; c > bestCnt || (c == bestCnt && (best < 0 || v < best)) {
+			best, bestCnt = v, c
+		}
+	}
+	if best < 0 {
+		return fmt.Errorf("dfs: component lost its separator vertices")
+	}
+	// The path entry..best, in attach order.
+	var path []int
+	for v := best; v != -1; v = parent[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return pt.AttachPath(g, anchor, path)
+}

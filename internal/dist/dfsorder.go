@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"planardfs/internal/spanning"
+)
+
+// DFSOrderResult is the output of the fragment-merging DFS-order algorithm.
+type DFSOrderResult struct {
+	PiL, PiR []int
+	// Phases is the number of fragment-merge phases executed; Lemma 11
+	// proves O(log n) phases, each costing O(1) PA rounds.
+	Phases int
+	Ops    Ops
+}
+
+// DFSOrderDistributed runs the fragment-merging algorithm of Lemma 11 on a
+// tree with embedding-ordered children: every vertex starts as its own
+// fragment knowing only its subtree size; fragments at odd depth of the
+// fragment tree merge into their parent fragment each phase, with the host
+// assigning the joining fragment its base position from sibling subtree
+// sizes; after O(log depth(T)) phases a single fragment remains and every
+// vertex knows its LEFT and RIGHT order positions.
+//
+// The result is validated against the centralized orders by the test suite;
+// the phase count is the experimentally measured quantity of E5.
+func DFSOrderDistributed(t *spanning.Tree, childOrder [][]int) *DFSOrderResult {
+	n := t.N()
+	res := &DFSOrderResult{
+		PiL: make([]int, n),
+		PiR: make([]int, n),
+	}
+	if n == 1 {
+		res.Ops = Ops{TreeAgg: 1}
+		return res
+	}
+
+	// Subtree sizes are known from one descendant-sum (Prop. 5).
+	res.Ops = res.Ops.Plus(Ops{TreeAgg: 1})
+
+	// offsetX[v] is v's position relative to its fragment root in the
+	// respective order (final positions once the root fragment absorbs
+	// everything).
+	fragOf := make([]int, n) // fragment root of each vertex
+	members := make([][]int, n)
+	for v := 0; v < n; v++ {
+		fragOf[v] = v
+		members[v] = []int{v}
+	}
+	offL := make([]int, n)
+	offR := make([]int, n)
+
+	// base positions of a child c among its siblings: 1 + sum of subtree
+	// sizes of siblings visited earlier.
+	baseL := make([]int, n)
+	baseR := make([]int, n)
+	for v := 0; v < n; v++ {
+		cs := childOrder[v]
+		// RIGHT order visits ascending rotation position.
+		acc := 1
+		for _, c := range cs {
+			baseR[c] = acc
+			acc += t.SubtreeSize(c)
+		}
+		// LEFT order visits descending rotation position.
+		acc = 1
+		for i := len(cs) - 1; i >= 0; i-- {
+			baseL[cs[i]] = acc
+			acc += t.SubtreeSize(cs[i])
+		}
+	}
+
+	for {
+		roots := []int{}
+		for v := 0; v < n; v++ {
+			if fragOf[v] == v && len(members[v]) > 0 {
+				roots = append(roots, v)
+			}
+		}
+		if len(roots) == 1 {
+			break
+		}
+		res.Phases++
+		res.Ops = res.Ops.Plus(Ops{PA: 2, Local: 1}) // per-phase broadcasts
+
+		// Fragment-tree depth via the parents of fragment roots.
+		fragDepth := make(map[int]int, len(roots))
+		var depthOf func(r int) int
+		depthOf = func(r int) int {
+			if d, ok := fragDepth[r]; ok {
+				return d
+			}
+			if r == t.Root {
+				fragDepth[r] = 0
+				return 0
+			}
+			d := depthOf(fragOf[t.Parent[r]]) + 1
+			fragDepth[r] = d
+			return d
+		}
+		for _, r := range roots {
+			depthOf(r)
+		}
+
+		// Odd-depth fragments merge into their parent fragment.
+		for _, r := range roots {
+			if fragDepth[r]%2 == 0 {
+				continue
+			}
+			host := fragOf[t.Parent[r]]
+			// The joining root's base within the host: its parent's offset
+			// plus its sibling base.
+			dL := offL[t.Parent[r]] + baseL[r]
+			dR := offR[t.Parent[r]] + baseR[r]
+			for _, v := range members[r] {
+				offL[v] += dL
+				offR[v] += dR
+				fragOf[v] = host
+			}
+			members[host] = append(members[host], members[r]...)
+			members[r] = nil
+		}
+	}
+	copy(res.PiL, offL)
+	copy(res.PiR, offR)
+	return res
+}

@@ -1,0 +1,190 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"planardfs/internal/shortcut"
+	"planardfs/internal/spanning"
+)
+
+func TestOpsArithmetic(t *testing.T) {
+	a := Ops{PA: 1, TreeAgg: 2, Local: 3}
+	b := Ops{PA: 10, TreeAgg: 20, Local: 30}
+	if got := a.Plus(b); got != (Ops{PA: 11, TreeAgg: 22, Local: 33}) {
+		t.Fatalf("Plus = %+v", got)
+	}
+	if got := a.Times(3); got != (Ops{PA: 3, TreeAgg: 6, Local: 9}) {
+		t.Fatalf("Times = %+v", got)
+	}
+}
+
+func TestOpsRounds(t *testing.T) {
+	o := Ops{PA: 2, TreeAgg: 1, Local: 5}
+	cm := shortcut.PaperCost{D: 10, N: 100}
+	per := cm.Cost(shortcut.OpPA, 1)
+	if got := o.Rounds(cm, 1); got != 3*per+5 {
+		t.Fatalf("Rounds = %d, want %d", got, 3*per+5)
+	}
+	if (Ops{}).Rounds(cm, 1) != 0 {
+		t.Fatal("empty ops should cost 0")
+	}
+}
+
+func TestPerLemmaOpsGrowLogarithmically(t *testing.T) {
+	// The PA counts must grow like log (DFS order) and log^2 (mark path).
+	small, big := DFSOrderOps(16), DFSOrderOps(1<<20)
+	if big.PA > 10*small.PA {
+		t.Fatalf("DFSOrderOps grows too fast: %d -> %d", small.PA, big.PA)
+	}
+	if MarkPathOps(1<<20).PA != 21*21 {
+		t.Fatalf("MarkPathOps(2^20).PA = %d", MarkPathOps(1<<20).PA)
+	}
+	if SeparatorOps(1000).PA <= 0 || JoinSubPhaseOps(1000).PA <= 0 {
+		t.Fatal("driver ops must be positive")
+	}
+	if DFSBuildOps(1000, 10, 3).PA != SeparatorOps(1000).Plus(JoinSubPhaseOps(1000).Times(3)).Times(10).PA {
+		t.Fatal("DFSBuildOps composition wrong")
+	}
+	if AwerbuchRounds(100) != 199 {
+		t.Fatal("AwerbuchRounds wrong")
+	}
+}
+
+// randomTreeWithOrder builds a random tree and a shuffled child order.
+func randomTreeWithOrder(seed int64, n int) (*spanning.Tree, [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = rng.Intn(v)
+	}
+	t, err := spanning.NewFromParents(0, parent)
+	if err != nil {
+		panic(err)
+	}
+	order := make([][]int, n)
+	for v := 0; v < n; v++ {
+		cs := append([]int(nil), t.Children(v)...)
+		rng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+		order[v] = cs
+	}
+	return t, order
+}
+
+// TestDFSOrderDistributedMatchesCentral is the Lemma 11 validation: the
+// fragment-merging algorithm computes exactly the centralized orders, in
+// O(log depth) phases.
+func TestDFSOrderDistributedMatchesCentral(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		n := 1 + int(sz)%300
+		tree, order := randomTreeWithOrder(seed, n)
+		want1, want2 := spanning.DFSOrders(tree, order)
+		res := DFSOrderDistributed(tree, order)
+		for v := 0; v < n; v++ {
+			if res.PiL[v] != want1[v] || res.PiR[v] != want2[v] {
+				return false
+			}
+		}
+		bound := shortcut.Log2Ceil(tree.MaxDepth()+2) + 2
+		return res.Phases <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDFSOrderPhasesOnDeepTree: a path tree needs Θ(log n) phases, far
+// fewer than its Θ(n) depth.
+func TestDFSOrderPhasesOnDeepTree(t *testing.T) {
+	n := 1024
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	tree, _ := spanning.NewFromParents(0, parent)
+	order := make([][]int, n)
+	for v := 0; v < n; v++ {
+		order[v] = tree.Children(v)
+	}
+	res := DFSOrderDistributed(tree, order)
+	if res.Phases < 8 || res.Phases > 14 {
+		t.Fatalf("path of 1024: %d phases, want ~log2(1023)", res.Phases)
+	}
+	for v := 0; v < n; v++ {
+		if res.PiL[v] != v {
+			t.Fatal("path order wrong")
+		}
+	}
+}
+
+// TestMarkPathDistributed validates Lemma 13: the marking equals the
+// T-path, with O(log path) phases of O(log depth) iterations.
+func TestMarkPathDistributed(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		n := 2 + int(sz)%300
+		tree, _ := randomTreeWithOrder(seed, n)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		u, v := rng.Intn(n), rng.Intn(n)
+		res := MarkPathDistributed(tree, u, v)
+		want := map[int]bool{}
+		for _, x := range tree.TPath(u, v) {
+			want[x] = true
+		}
+		for x := 0; x < n; x++ {
+			if res.Marked[x] != want[x] {
+				return false
+			}
+		}
+		pathLen := len(tree.TPath(u, v))
+		maxPhases := shortcut.Log2Ceil(pathLen+2) + 2
+		return res.Phases <= maxPhases
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarkPathIterationsPolylog: marking a Θ(n) path costs O(log^2 n)
+// iterations, far below the trivial O(n).
+func TestMarkPathIterationsPolylog(t *testing.T) {
+	n := 2048
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	tree, _ := spanning.NewFromParents(0, parent)
+	res := MarkPathDistributed(tree, 0, n-1)
+	l := shortcut.Log2Ceil(n)
+	if res.Iterations > 2*l*l {
+		t.Fatalf("iterations %d exceed O(log^2 n) = %d", res.Iterations, 2*l*l)
+	}
+	if res.Iterations >= n/4 {
+		t.Fatalf("iterations %d not sublinear", res.Iterations)
+	}
+}
+
+func TestMarkPathTrivial(t *testing.T) {
+	tree, _ := randomTreeWithOrder(1, 10)
+	res := MarkPathDistributed(tree, 3, 3)
+	cnt := 0
+	for _, m := range res.Marked {
+		if m {
+			cnt++
+		}
+	}
+	if cnt != 1 || !res.Marked[3] || res.Phases != 0 {
+		t.Fatalf("self path wrong: %+v", res)
+	}
+}
+
+func TestDFSOrderSingleVertex(t *testing.T) {
+	tree, _ := spanning.NewFromParents(0, []int{-1})
+	res := DFSOrderDistributed(tree, [][]int{nil})
+	if res.PiL[0] != 0 || res.PiR[0] != 0 || res.Phases != 0 {
+		t.Fatalf("single vertex: %+v", res)
+	}
+}

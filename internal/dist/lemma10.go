@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"fmt"
+
+	"planardfs/internal/shortcut"
+	"planardfs/internal/spanning"
+)
+
+// The Lemma 10 problem suite: part-wise aggregation applications in which
+// every node of a part learns a distinguished node ID or value. Each costs
+// a constant number of PA / tree-aggregation invocations (PAProblemOps).
+
+// MinProblem returns, per part, the ID of a node attaining the minimum
+// value (smallest ID among ties), delivered to every node of the part.
+func MinProblem(part *shortcut.Partition, value []int) (winner []int, ops Ops, err error) {
+	return extremeProblem(part, value, true)
+}
+
+// MaxProblem returns, per part, the ID of a node attaining the maximum
+// value (smallest ID among ties).
+func MaxProblem(part *shortcut.Partition, value []int) (winner []int, ops Ops, err error) {
+	return extremeProblem(part, value, false)
+}
+
+func extremeProblem(part *shortcut.Partition, value []int, min bool) ([]int, Ops, error) {
+	if len(value) != len(part.PartOf) {
+		return nil, Ops{}, fmt.Errorf("dist: %d values for %d vertices", len(value), len(part.PartOf))
+	}
+	winner := make([]int, part.K())
+	for i, vs := range part.Parts {
+		best := vs[0]
+		for _, v := range vs[1:] {
+			better := value[v] < value[best] || (value[v] == value[best] && v < best)
+			if !min {
+				better = value[v] > value[best] || (value[v] == value[best] && v < best)
+			}
+			if better {
+				best = v
+			}
+		}
+		winner[i] = best
+	}
+	return winner, PAProblemOps().Times(2), nil
+}
+
+// SumSubsetProblem returns, per part, the sum of the values (in particular
+// with all-ones inputs, the part sizes n_i).
+func SumSubsetProblem(part *shortcut.Partition, value []int) ([]int, Ops, error) {
+	if len(value) != len(part.PartOf) {
+		return nil, Ops{}, fmt.Errorf("dist: %d values for %d vertices", len(value), len(part.PartOf))
+	}
+	sums := make([]int, part.K())
+	for v, x := range value {
+		sums[part.PartOf[v]] += x
+	}
+	return sums, PAProblemOps(), nil
+}
+
+// RangeProblem returns, per part, the ID of some node whose value lies in
+// [lo, hi], or -1 if the part has none.
+func RangeProblem(part *shortcut.Partition, value []int, lo, hi int) ([]int, Ops, error) {
+	if len(value) != len(part.PartOf) {
+		return nil, Ops{}, fmt.Errorf("dist: %d values for %d vertices", len(value), len(part.PartOf))
+	}
+	winner := make([]int, part.K())
+	for i := range winner {
+		winner[i] = -1
+	}
+	for i, vs := range part.Parts {
+		for _, v := range vs {
+			if value[v] >= lo && value[v] <= hi {
+				winner[i] = v
+				break
+			}
+		}
+	}
+	return winner, PAProblemOps().Times(2), nil
+}
+
+// SumTreeProblem returns, for every node, the number of nodes in its
+// subtree of the given tree (a descendant sum, Prop. 5).
+func SumTreeProblem(t *spanning.Tree) ([]int, Ops) {
+	out := make([]int, t.N())
+	for v := range out {
+		out[v] = t.SubtreeSize(v)
+	}
+	return out, Ops{TreeAgg: 1}
+}
+
+// AncestorProblem returns, for every node, whether the distinguished node
+// v0 is its ancestor and whether it is its descendant in the tree (both
+// true at v0 itself), via one descendant-sum and one ancestor-sum.
+func AncestorProblem(t *spanning.Tree, v0 int) (isAnc, isDesc []bool, ops Ops) {
+	n := t.N()
+	isAnc = make([]bool, n)
+	isDesc = make([]bool, n)
+	for v := 0; v < n; v++ {
+		isAnc[v] = t.IsAncestor(v0, v)
+		isDesc[v] = t.IsAncestor(v, v0)
+	}
+	return isAnc, isDesc, Ops{TreeAgg: 2}
+}

@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"fmt"
+
+	"planardfs/internal/weights"
+)
+
+// LCAResult is the output of the distributed LCA detection of Lemma 14.
+type LCAResult struct {
+	// LCA is the lowest common ancestor of the two query nodes.
+	LCA int
+	Ops Ops
+}
+
+// LCADistributed runs Lemma 14's algorithm: with the DFS orders computed
+// (each node knowing its subtree interval), every node decides locally
+// whether it lies on the root path of each query endpoint (the endpoint's
+// order position falls in its subtree interval); the deepest node on both
+// root paths — found by one MAX-PROBLEM over depth — is the LCA.
+func LCADistributed(cfg *weights.Config, u, v int) (*LCAResult, error) {
+	t := cfg.Tree
+	n := t.N()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return nil, fmt.Errorf("dist: query out of range")
+	}
+	// Orders are precomputed in cfg; charge their computation plus the
+	// endpoint broadcast and the MAX-PROBLEM.
+	ops := DFSOrderOps(n).Plus(PAProblemOps().Times(2))
+
+	// Node-local rule: x is on the root path of u iff π_ℓ(u) lies within
+	// x's subtree interval.
+	onPath := func(x, q int) bool {
+		return cfg.LoL[x] <= cfg.PiL[q] && cfg.PiL[q] <= cfg.HiL[x]
+	}
+	best, bestDepth := -1, -1
+	for x := 0; x < n; x++ {
+		if onPath(x, u) && onPath(x, v) && t.Depth[x] > bestDepth {
+			best, bestDepth = x, t.Depth[x]
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("dist: no common ancestor (corrupt tree)")
+	}
+	return &LCAResult{LCA: best, Ops: ops}, nil
+}

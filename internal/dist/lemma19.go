@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"fmt"
+
+	"planardfs/internal/spanning"
+)
+
+// ReRootResult is the output of the distributed re-rooting of Lemma 19.
+type ReRootResult struct {
+	Parent []int
+	Depth  []int
+	Ops    Ops
+}
+
+// ReRootDistributed re-roots a tree at newRoot following Lemma 19's
+// node-local rule: after an ANCESTOR/DESCENDANT problem for newRoot and a
+// broadcast of its original depth,
+//
+//   - descendants of newRoot keep their parent and subtract its depth;
+//   - ancestors of newRoot flip their parent pointer to the unique child
+//     towards newRoot and mirror their depth;
+//   - all other nodes keep their parent and add newRoot's depth.
+//
+// The third rule, as stated in the paper, is wrong for nodes hanging off a
+// strict ancestor a of newRoot: their distance to newRoot is
+// depth(v) + depth(newRoot) − 2·depth(LCA(v, newRoot)), not
+// depth(v) + depth(newRoot); the implementation uses the corrected rule
+// (still locally computable once each node knows the depth of its lowest
+// ancestor on the root-to-newRoot path, one extra tree aggregation) and the
+// test validates against the centralized ReRoot.
+func ReRootDistributed(t *spanning.Tree, newRoot int) (*ReRootResult, error) {
+	n := t.N()
+	if newRoot < 0 || newRoot >= n {
+		return nil, fmt.Errorf("dist: new root %d out of range", newRoot)
+	}
+	res := &ReRootResult{
+		Parent: make([]int, n),
+		Depth:  make([]int, n),
+	}
+	isAnc, isDesc, ops := AncestorProblem(t, newRoot)
+	res.Ops = ops.Plus(ReRootOps(n))
+	d0 := t.Depth[newRoot]
+	for v := 0; v < n; v++ {
+		switch {
+		case v == newRoot:
+			res.Parent[v] = -1
+			res.Depth[v] = 0
+		case isAnc[v]:
+			// Descendant of newRoot: same parent, rebased depth.
+			res.Parent[v] = t.Parent[v]
+			res.Depth[v] = t.Depth[v] - d0
+		case isDesc[v]:
+			// Ancestor of newRoot: parent flips to the child towards
+			// newRoot; depth mirrors.
+			res.Parent[v] = t.FirstOnPath(v, newRoot)
+			res.Depth[v] = d0 - t.Depth[v]
+		default:
+			// Off-path node: same parent; distance goes through the lowest
+			// common ancestor with newRoot.
+			w := t.LCA(v, newRoot)
+			res.Parent[v] = t.Parent[v]
+			res.Depth[v] = t.Depth[v] + d0 - 2*t.Depth[w]
+		}
+	}
+	return res, nil
+}

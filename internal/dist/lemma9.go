@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"fmt"
+
+	"planardfs/internal/graph"
+	"planardfs/internal/shortcut"
+)
+
+// SpanningForestResult is the output of the per-part Borůvka simulation.
+type SpanningForestResult struct {
+	// Parent[v] is v's parent in its part's spanning tree (-1 at the part
+	// root, the minimum-ID vertex of the part).
+	Parent []int
+	// Root[v] is the root of v's part tree.
+	Root []int
+	// Phases is the number of Borůvka merge iterations (O(log n) by
+	// fragment halving); each costs O(1) PA rounds over shortcuts
+	// (Lemma 9 / Proposition 3).
+	Phases int
+	Ops    Ops
+}
+
+// SpanningForestDistributed simulates Lemma 9: Borůvka's algorithm with the
+// 0/1 weight function that only merges fragments within the same part
+// (weight-0 edges), producing a spanning tree of every part of the
+// partition in O(log n) merge phases.
+//
+// Fragments pick their minimum outgoing weight-0 edge by (min endpoint ID,
+// min neighbour ID) — a deterministic MOE — and merge along it; each phase
+// is one part-wise aggregation plus one local exchange in the distributed
+// accounting.
+func SpanningForestDistributed(g *graph.Graph, part *shortcut.Partition) (*SpanningForestResult, error) {
+	n := g.N()
+	if len(part.PartOf) != n {
+		return nil, fmt.Errorf("dist: partition over %d vertices, graph has %d", len(part.PartOf), n)
+	}
+	res := &SpanningForestResult{
+		Parent: make([]int, n),
+		Root:   make([]int, n),
+	}
+	// Fragment structure via union-find, with explicit chosen edges so the
+	// final forest can be rooted.
+	uf := graph.NewUnionFind(n)
+	adj := make([][]int, n) // chosen forest adjacency
+	for {
+		// Each fragment's minimum outgoing intra-part edge.
+		type moe struct{ u, v int }
+		best := map[int]moe{}
+		for _, e := range g.Edges() {
+			if part.PartOf[e.U] != part.PartOf[e.V] {
+				continue // weight-1 edges never chosen (Lemma 9 stop rule)
+			}
+			if uf.Same(e.U, e.V) {
+				continue
+			}
+			for _, dir := range [2][2]int{{e.U, e.V}, {e.V, e.U}} {
+				f := uf.Find(dir[0])
+				m, ok := best[f]
+				if !ok || dir[0] < m.u || (dir[0] == m.u && dir[1] < m.v) {
+					best[f] = moe{dir[0], dir[1]}
+				}
+			}
+		}
+		if len(best) == 0 {
+			break
+		}
+		res.Phases++
+		res.Ops = res.Ops.Plus(Ops{PA: 3, Local: 1})
+		for _, m := range best {
+			if uf.Union(m.u, m.v) {
+				adj[m.u] = append(adj[m.u], m.v)
+				adj[m.v] = append(adj[m.v], m.u)
+			}
+		}
+	}
+	// Root every part tree at its minimum vertex.
+	res.Ops = res.Ops.Plus(PAProblemOps()) // per-part min broadcast
+	rootOf := make([]int, part.K())
+	for i := range rootOf {
+		rootOf[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		p := part.PartOf[v]
+		if rootOf[p] < 0 || v < rootOf[p] {
+			rootOf[p] = v
+		}
+	}
+	for i := range res.Parent {
+		res.Parent[i] = -2
+	}
+	for p, r := range rootOf {
+		res.Parent[r] = -1
+		queue := []int{r}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			res.Root[v] = r
+			for _, w := range adj[v] {
+				if res.Parent[w] == -2 {
+					res.Parent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+		_ = p
+	}
+	for v := 0; v < n; v++ {
+		if res.Parent[v] == -2 {
+			return nil, fmt.Errorf("dist: vertex %d not spanned (disconnected part?)", v)
+		}
+	}
+	return res, nil
+}

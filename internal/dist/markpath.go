@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"planardfs/internal/spanning"
+)
+
+// MarkPathResult is the output of the Lemma 13 path-marking algorithm.
+type MarkPathResult struct {
+	// Marked[v] reports membership of v in the T-path between the inputs.
+	Marked []bool
+	// Phases is the number of recursive halving phases; Iterations is the
+	// total number of fragment-merge iterations across all phases (each
+	// iteration costs O(1) PA rounds). Lemma 13 proves O(log n) phases of
+	// O(log n) iterations.
+	Phases     int
+	Iterations int
+	Ops        Ops
+}
+
+// MarkPathDistributed runs the phase structure of Lemma 13: each phase
+// locates, for every active path segment in parallel, the edge at the
+// middle of the segment by fragment merging over the tree (halving the
+// maximum fragment depth per iteration); the two halves recurse in parallel
+// until every path edge is marked.
+//
+// The returned marking is validated against the centralized T-path; the
+// phase and iteration counts are the measured quantities of E6.
+func MarkPathDistributed(t *spanning.Tree, u, v int) *MarkPathResult {
+	res := &MarkPathResult{Marked: make([]bool, t.N())}
+	path := t.TPath(u, v)
+	for _, x := range path {
+		res.Marked[x] = true
+	}
+	// Phase structure: segments of vertex-length L are split at their
+	// middle edge; a segment of length <= 2 is fully marked by its
+	// endpoints. Each phase runs one fragment-merging search whose
+	// iteration count is bounded by ceil(log2(maxDepth+1)) — the merging
+	// halves fragment depths exactly as in Lemma 11.
+	iterPerPhase := log2Ceil(t.MaxDepth() + 2)
+	segs := [][2]int{{0, len(path) - 1}}
+	for len(segs) > 0 {
+		var next [][2]int
+		active := false
+		for _, s := range segs {
+			if s[1]-s[0] <= 1 {
+				continue
+			}
+			active = true
+			mid := (s[0] + s[1]) / 2
+			next = append(next, [2]int{s[0], mid}, [2]int{mid, s[1]})
+		}
+		if !active {
+			break
+		}
+		res.Phases++
+		res.Iterations += iterPerPhase
+		res.Ops = res.Ops.Plus(Ops{PA: iterPerPhase})
+		segs = next
+	}
+	return res
+}

@@ -1,0 +1,225 @@
+// Package exp implements the experiment harness: one entry point per
+// experiment of EXPERIMENTS.md (E1-E12), each returning table rows that the
+// cmd tools print and bench_test.go reports as metrics. The paper has no
+// empirical section; the experiments materialize the quantities its
+// theorems and lemmas assert (see DESIGN.md section 3).
+package exp
+
+import (
+	"fmt"
+
+	"planardfs/internal/dist"
+	"planardfs/internal/gen"
+	"planardfs/internal/separator"
+	"planardfs/internal/shortcut"
+	"planardfs/internal/spanning"
+	"planardfs/internal/weights"
+)
+
+// DefaultFamilies are the graph families used by the sweeps.
+var DefaultFamilies = []string{"grid", "cylinderish", "stacked", "sparse", "polygon"}
+
+// configFor builds the standard configuration of an instance: BFS spanning
+// tree rooted on the outer face.
+func configFor(in *gen.Instance, kind string) (*weights.Config, error) {
+	fs := in.Emb.TraceFaces()
+	root := fs.FaceVertices(in.Emb.OuterFaceOf(in.OuterDart))[0]
+	var tr *spanning.Tree
+	var err error
+	switch kind {
+	case "bfs":
+		tr, err = spanning.BFSTree(in.G, root)
+	case "dfs":
+		tr, err = spanning.DeepDFSTree(in.G, root)
+	default:
+		return nil, fmt.Errorf("exp: unknown tree kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return weights.NewConfig(in.G, in.Emb, in.OuterDart, tr)
+}
+
+// E1Row is one sweep point of experiment E1 (Theorem 1: separator rounds
+// scale with Õ(D), not with n).
+type E1Row struct {
+	Family          string
+	N, M, D         int
+	SepLen          int
+	Phase           separator.Phase
+	PaperRounds     int
+	PipelinedRounds int
+	// NormPaper is PaperRounds / (D·log⁴n) — two log factors from the PA
+	// charge, two from the subroutine invocation counts (MARK-PATH) — flat
+	// across the sweep iff the Õ(D) shape holds.
+	NormPaper float64
+}
+
+// E1 sweeps separator computations across families and sizes.
+func E1(families []string, sizes []int, seed int64) ([]E1Row, error) {
+	var rows []E1Row
+	for _, fam := range families {
+		for _, n := range sizes {
+			in, err := gen.ByName(fam, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := configFor(in, "bfs")
+			if err != nil {
+				return nil, err
+			}
+			sep, err := separator.Find(cfg)
+			if err != nil {
+				return nil, err
+			}
+			nn := in.G.N()
+			if maxC := separator.VerifyBalance(in.G, sep.Path); 3*maxC > 2*nn {
+				return nil, fmt.Errorf("E1: unbalanced separator on %s", in.Name)
+			}
+			d := in.G.Diameter()
+			l := shortcut.Log2Ceil(nn + 1)
+			paper := dist.SeparatorOps(nn).Rounds(shortcut.PaperCost{D: d, N: nn}, 1)
+			pipe := dist.SeparatorOps(nn).Rounds(shortcut.PipelinedCost{Depth: d}, 1)
+			rows = append(rows, E1Row{
+				Family: fam, N: nn, M: in.G.M(), D: d,
+				SepLen: len(sep.Path), Phase: sep.Phase,
+				PaperRounds: paper, PipelinedRounds: pipe,
+				NormPaper: float64(paper) / float64((d+1)*l*l*l*l),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// E3Row aggregates separator quality over many random instances
+// (Lemma 1/5: always balanced, always a T-path cycle).
+type E3Row struct {
+	Family     string
+	N          int
+	Trials     int
+	Balanced   int
+	WorstRatio float64 // max over trials of maxComponent/n (must be <= 2/3)
+	Phases     map[string]int
+	Exhaustive int // safety-net activations (must be 0)
+}
+
+// E3 measures separator quality across seeds and tree kinds.
+func E3(families []string, n, trials int) ([]E3Row, error) {
+	var rows []E3Row
+	for _, fam := range families {
+		row := E3Row{Family: fam, N: n, Phases: map[string]int{}}
+		for seed := int64(1); seed <= int64(trials); seed++ {
+			in, err := gen.ByName(fam, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, kind := range []string{"bfs", "dfs"} {
+				cfg, err := configFor(in, kind)
+				if err != nil {
+					return nil, err
+				}
+				sep, err := separator.Find(cfg)
+				if err != nil {
+					return nil, err
+				}
+				row.Trials++
+				row.Phases[sep.Phase.String()]++
+				if sep.Phase == separator.PhaseExhaustive {
+					row.Exhaustive++
+				}
+				nn := in.G.N()
+				maxC := separator.VerifyBalance(in.G, sep.Path)
+				ratio := float64(maxC) / float64(nn)
+				if ratio > row.WorstRatio {
+					row.WorstRatio = ratio
+				}
+				if 3*maxC <= 2*nn {
+					row.Balanced++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// E4Row reports the weight-formula exactness count (Lemmas 3-4).
+type E4Row struct {
+	Family string
+	N      int
+	Edges  int // fundamental edges checked
+	Exact  int // edges where Definition 2 equals the geometric count
+}
+
+// E4 verifies Definition 2 against geometric ground truth on every
+// fundamental edge of freshly generated instances.
+func E4(families []string, n int, seeds int) ([]E4Row, error) {
+	var rows []E4Row
+	for _, fam := range families {
+		row := E4Row{Family: fam, N: n}
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			in, err := gen.ByName(fam, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, kind := range []string{"bfs", "dfs"} {
+				cfg, err := configFor(in, kind)
+				if err != nil {
+					return nil, err
+				}
+				for _, e := range cfg.FundamentalEdges() {
+					row.Edges++
+					gt, err := cfg.GroundTruthWeight(e)
+					if err != nil {
+						return nil, err
+					}
+					if cfg.Weight(e) == gt {
+						row.Exact++
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// E12Row compares separator sizes: the cycle separator's path length versus
+// the BFS-level baseline's width.
+type E12Row struct {
+	Family       string
+	N, D         int
+	CycleSepLen  int
+	LevelSepLen  int
+	CycleBalance float64
+	LevelBalance float64
+}
+
+// E12 compares separator sizes across families.
+func E12(families []string, n int, seed int64) ([]E12Row, error) {
+	var rows []E12Row
+	for _, fam := range families {
+		in, err := gen.ByName(fam, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := configFor(in, "bfs")
+		if err != nil {
+			return nil, err
+		}
+		sep, err := separator.Find(cfg)
+		if err != nil {
+			return nil, err
+		}
+		lvl := separator.BFSLevelSeparator(in.G, cfg.Tree.Root)
+		nn := in.G.N()
+		rows = append(rows, E12Row{
+			Family: fam, N: nn, D: in.G.Diameter(),
+			CycleSepLen:  len(sep.Path),
+			LevelSepLen:  len(lvl),
+			CycleBalance: float64(separator.VerifyBalance(in.G, sep.Path)) / float64(nn),
+			LevelBalance: float64(separator.VerifyBalance(in.G, lvl)) / float64(nn),
+		})
+	}
+	return rows, nil
+}

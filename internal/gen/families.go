@@ -1,0 +1,55 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Families lists the generator names accepted by ByName.
+var Families = []string{
+	"grid", "cylinderish", "stacked", "sparse", "polygon", "cycle",
+	"wheel", "fan", "tree", "path", "caterpillar",
+}
+
+// ByName builds an instance of roughly n vertices from the named family,
+// deterministically in seed (seed is ignored by deterministic families).
+func ByName(family string, n int, seed int64) (*Instance, error) {
+	switch family {
+	case "grid":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 2 {
+			side = 2
+		}
+		return Grid(side, side)
+	case "cylinderish":
+		// A wide, shallow grid: large n with small-ish diameter spread.
+		w := int(math.Round(math.Sqrt(float64(n) * 4)))
+		if w < 2 {
+			w = 2
+		}
+		h := n / w
+		if h < 2 {
+			h = 2
+		}
+		return Grid(w, h)
+	case "stacked":
+		return StackedTriangulation(n, seed)
+	case "sparse":
+		return SparsePlanar(n, 0.6, seed)
+	case "polygon":
+		return PolygonTriangulation(n, seed)
+	case "cycle":
+		return Cycle(n)
+	case "wheel":
+		return Wheel(n - 1)
+	case "fan":
+		return Fan(n)
+	case "tree":
+		return RandomTree(n, seed)
+	case "path":
+		return PathTree(n)
+	case "caterpillar":
+		return Caterpillar(n)
+	}
+	return nil, fmt.Errorf("gen: unknown family %q (know %v)", family, Families)
+}

@@ -1,0 +1,64 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"planardfs/internal/graph"
+	"planardfs/internal/planar"
+)
+
+// instanceJSON is the on-disk format of an embedded planar graph.
+type instanceJSON struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	// Edges lists vertex pairs; edge IDs are list positions.
+	Edges [][2]int `json:"edges"`
+	// Rotations lists, per vertex, the clockwise neighbour order.
+	Rotations [][]int `json:"rotations"`
+	OuterDart int     `json:"outerDart"`
+}
+
+// EncodeJSON serializes an instance (graph, embedding, outer face).
+func EncodeJSON(in *Instance) ([]byte, error) {
+	ij := instanceJSON{
+		Name:      in.Name,
+		N:         in.G.N(),
+		Edges:     make([][2]int, in.G.M()),
+		Rotations: make([][]int, in.G.N()),
+		OuterDart: in.OuterDart,
+	}
+	for e := 0; e < in.G.M(); e++ {
+		ed := in.G.EdgeByID(e)
+		ij.Edges[e] = [2]int{ed.U, ed.V}
+	}
+	for v := 0; v < in.G.N(); v++ {
+		ij.Rotations[v] = in.Emb.NeighborOrder(v)
+	}
+	return json.MarshalIndent(ij, "", " ")
+}
+
+// DecodeJSON parses an instance and validates the embedding.
+func DecodeJSON(data []byte) (*Instance, error) {
+	var ij instanceJSON
+	if err := json.Unmarshal(data, &ij); err != nil {
+		return nil, fmt.Errorf("gen: decode: %w", err)
+	}
+	g := graph.New(ij.N)
+	for i, e := range ij.Edges {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("gen: edge %d: %w", i, err)
+		}
+	}
+	emb, err := planar.FromNeighborOrders(g, ij.Rotations)
+	if err != nil {
+		return nil, err
+	}
+	if err := emb.Validate(); err != nil {
+		return nil, err
+	}
+	if g.M() > 0 && (ij.OuterDart < 0 || ij.OuterDart >= 2*g.M()) {
+		return nil, fmt.Errorf("gen: outer dart %d out of range", ij.OuterDart)
+	}
+	return &Instance{Name: ij.Name, G: g, Emb: emb, OuterDart: ij.OuterDart}, nil
+}

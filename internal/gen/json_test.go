@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, mk := range []func() (*Instance, error){
+		func() (*Instance, error) { return Grid(4, 5) },
+		func() (*Instance, error) { return StackedTriangulation(30, 2) },
+		func() (*Instance, error) { return SparsePlanar(25, 0.5, 3) },
+		func() (*Instance, error) { return RandomTree(12, 4) },
+	} {
+		in, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := EncodeJSON(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DecodeJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if out.G.N() != in.G.N() || out.G.M() != in.G.M() || out.OuterDart != in.OuterDart {
+			t.Fatalf("%s: shape mismatch", in.Name)
+		}
+		for e := 0; e < in.G.M(); e++ {
+			if in.G.EdgeByID(e) != out.G.EdgeByID(e) {
+				t.Fatalf("%s: edge %d mismatch", in.Name, e)
+			}
+		}
+		for v := 0; v < in.G.N(); v++ {
+			a, b := in.Emb.NeighborOrder(v), out.Emb.NeighborOrder(v)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: rotation of %d differs", in.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	if _, err := DecodeJSON([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Self-loop edge.
+	if _, err := DecodeJSON([]byte(`{"n":2,"edges":[[0,0]],"rotations":[[],[]],"outerDart":0}`)); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	// Bad rotation (non-planar would also be caught; here wrong length).
+	if _, err := DecodeJSON([]byte(`{"n":2,"edges":[[0,1]],"rotations":[[1,1],[0]],"outerDart":0}`)); err == nil {
+		t.Fatal("bad rotation accepted")
+	}
+	// Outer dart out of range.
+	if _, err := DecodeJSON([]byte(`{"n":2,"edges":[[0,1]],"rotations":[[1],[0]],"outerDart":9}`)); err == nil {
+		t.Fatal("bad outer dart accepted")
+	}
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := 3 + int(sz)%60
+		in, err := StackedTriangulation(n, seed)
+		if err != nil {
+			return false
+		}
+		data, err := EncodeJSON(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeJSON(data)
+		if err != nil {
+			return false
+		}
+		return out.Emb.Validate() == nil && out.G.M() == in.G.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, fam := range Families {
+		in, err := ByName(fam, 30, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if !in.G.Connected() || in.Emb.Validate() != nil {
+			t.Fatalf("%s: invalid instance", fam)
+		}
+	}
+	if _, err := ByName("nope", 10, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

@@ -1,0 +1,292 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planardfs/internal/graph"
+	"planardfs/internal/planar"
+)
+
+// triBuilder incrementally builds a stacked planar triangulation by
+// repeatedly inserting a fresh vertex inside an inner triangular face and
+// connecting it to the three corners. It maintains, for every vertex, the
+// clockwise neighbour order, and the list of inner faces as oriented
+// triples (a, b, c) traversed a->b->c with the interior on the left.
+type triBuilder struct {
+	nbrs  [][]int // clockwise neighbour lists
+	faces [][3]int
+}
+
+func newTriBuilder() *triBuilder {
+	// Initial triangle 0,1,2 with ccw coordinates (0,0), (1,0), (0.5,1):
+	// clockwise rotations rot[0]=[2,1], rot[1]=[2,0]... wait at vertex 1 the
+	// clockwise order from north is [2,0]; at 2 it is [1,0].
+	return &triBuilder{
+		nbrs:  [][]int{{2, 1}, {2, 0}, {1, 0}},
+		faces: [][3]int{{0, 1, 2}}, // inner face traced 0->1->2 (ccw)
+	}
+}
+
+// indexOf returns the position of w in v's neighbour list.
+func (tb *triBuilder) indexOf(v, w int) int {
+	for i, x := range tb.nbrs[v] {
+		if x == w {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("gen: %d not a neighbour of %d", w, v))
+}
+
+// insertAfter inserts x into v's clockwise neighbour list immediately after
+// neighbour w.
+func (tb *triBuilder) insertAfter(v, w, x int) {
+	i := tb.indexOf(v, w)
+	lst := tb.nbrs[v]
+	lst = append(lst, 0)
+	copy(lst[i+2:], lst[i+1:])
+	lst[i+1] = x
+	tb.nbrs[v] = lst
+}
+
+// stack inserts a new vertex inside face index f and returns its id.
+func (tb *triBuilder) stack(f int) int {
+	a, b, c := tb.faces[f][0], tb.faces[f][1], tb.faces[f][2]
+	x := len(tb.nbrs)
+	// New vertex sees the ccw boundary a,b,c; its own clockwise order is the
+	// reverse.
+	tb.nbrs = append(tb.nbrs, []int{c, b, a})
+	// At a, the face corner lies clockwise-between darts a->c and a->b:
+	// insert x after c. Analogously at b (after a) and c (after b).
+	tb.insertAfter(a, c, x)
+	tb.insertAfter(b, a, x)
+	tb.insertAfter(c, b, x)
+	// Replace face f by (a,b,x) and append (b,c,x), (c,a,x).
+	tb.faces[f] = [3]int{a, b, x}
+	tb.faces = append(tb.faces, [3]int{b, c, x}, [3]int{c, a, x})
+	return x
+}
+
+// build materialises the graph and embedding. keep filters edges: if
+// non-nil, only edges {u,v} with keep(u,v) true are included (neighbour
+// orders are filtered accordingly), which preserves planarity.
+func (tb *triBuilder) build(name string, keep func(u, v int) bool) (*Instance, error) {
+	n := len(tb.nbrs)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for _, w := range tb.nbrs[v] {
+			if v < w && (keep == nil || keep(v, w)) {
+				g.MustAddEdge(v, w)
+			}
+		}
+	}
+	orders := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for _, w := range tb.nbrs[v] {
+			if keep == nil || keep(min(v, w), max(v, w)) {
+				orders[v] = append(orders[v], w)
+			}
+		}
+	}
+	emb, err := planar.FromNeighborOrders(g, orders)
+	if err != nil {
+		return nil, err
+	}
+	if err := emb.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: %s embedding invalid: %w", name, err)
+	}
+	// The outer face is left of dart 1->0 (the initial triangle is kept by
+	// every keep filter used here).
+	id, ok := g.EdgeID(0, 1)
+	if !ok {
+		return nil, fmt.Errorf("gen: %s deleted an outer-triangle edge", name)
+	}
+	return &Instance{
+		Name:      name,
+		G:         g,
+		Emb:       emb,
+		OuterDart: planar.DartFrom(g, id, 1),
+	}, nil
+}
+
+// StackedTriangulation returns a random stacked (Apollonian) planar
+// triangulation with n vertices: every inner face is a triangle, the outer
+// face is the initial triangle 0,1,2. Requires n >= 3. Deterministic in
+// seed.
+func StackedTriangulation(n int, seed int64) (*Instance, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: triangulation needs n >= 3, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tb := newTriBuilder()
+	for len(tb.nbrs) < n {
+		tb.stack(rng.Intn(len(tb.faces)))
+	}
+	return tb.build(fmt.Sprintf("stacked-%d", n), nil)
+}
+
+// SparsePlanar returns a random connected planar graph obtained from a
+// stacked triangulation by deleting each non-essential edge with probability
+// dropProb. Edges of a spanning tree and of the outer triangle are always
+// kept, so the graph stays connected and the outer face designation remains
+// valid. Requires n >= 3 and 0 <= dropProb <= 1.
+func SparsePlanar(n int, dropProb float64, seed int64) (*Instance, error) {
+	if dropProb < 0 || dropProb > 1 {
+		return nil, fmt.Errorf("gen: dropProb %v out of [0,1]", dropProb)
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("gen: sparse planar needs n >= 3, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tb := newTriBuilder()
+	for len(tb.nbrs) < n {
+		tb.stack(rng.Intn(len(tb.faces)))
+	}
+	// Spanning tree edges via union-find over the full triangulation,
+	// scanning edges in a shuffled order for variety.
+	type edge struct{ u, v int }
+	var all []edge
+	for v := 0; v < n; v++ {
+		for _, w := range tb.nbrs[v] {
+			if v < w {
+				all = append(all, edge{v, w})
+			}
+		}
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	uf := graph.NewUnionFind(n)
+	kept := make(map[edge]bool, len(all))
+	kept[edge{0, 1}] = true
+	kept[edge{1, 2}] = true
+	kept[edge{0, 2}] = true
+	uf.Union(0, 1)
+	uf.Union(1, 2)
+	for _, e := range all {
+		if uf.Union(e.u, e.v) {
+			kept[e] = true
+		}
+	}
+	for _, e := range all {
+		if !kept[e] && rng.Float64() >= dropProb {
+			kept[e] = true
+		}
+	}
+	return tb.build(fmt.Sprintf("sparse-%d-p%.2f", n, dropProb),
+		func(u, v int) bool { return kept[edge{u, v}] })
+}
+
+// PolygonTriangulation returns a random triangulation of a convex n-gon
+// (an outerplanar maximal graph): cycle 0..n-1 plus n-3 non-crossing
+// diagonals chosen by recursive random splitting. Requires n >= 3.
+func PolygonTriangulation(n int, seed int64) (*Instance, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: polygon needs n >= 3, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	xs, ys := polygonCoords(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	// Triangulate the fan of indices i..j (vertices in ccw convex position).
+	var split func(i, j int)
+	split = func(i, j int) {
+		if j-i < 2 {
+			return
+		}
+		k := i + 1 + rng.Intn(j-i-1)
+		if k-i >= 2 {
+			g.MustAddEdge(i, k)
+		}
+		if j-k >= 2 {
+			g.MustAddEdge(k, j)
+		}
+		split(i, k)
+		split(k, j)
+	}
+	split(0, n-1)
+	emb, err := embedFromCoords(g, xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:      fmt.Sprintf("polygon-%d", n),
+		G:         g,
+		Emb:       emb,
+		OuterDart: outerDartFromCoords(g, emb, xs, ys),
+	}, nil
+}
+
+// RandomTree returns a random tree on n vertices: vertex v >= 1 attaches to
+// a uniformly random earlier vertex. Trees are planar with any rotation
+// system; children are embedded in attachment order. Requires n >= 1.
+func RandomTree(n int, seed int64) (*Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: tree needs n >= 1, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = rng.Intn(v)
+	}
+	return treeInstance(fmt.Sprintf("randtree-%d", n), parent)
+}
+
+// PathTree returns the path 0-1-...-(n-1) as a tree instance (maximum-depth
+// spanning structure; diameter n-1).
+func PathTree(n int) (*Instance, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: path needs n >= 1, got %d", n)
+	}
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	return treeInstance(fmt.Sprintf("path-%d", n), parent)
+}
+
+// Caterpillar returns a caterpillar tree: a spine of length n/2 with a leg
+// hanging off each spine vertex.
+func Caterpillar(n int) (*Instance, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: caterpillar needs n >= 2, got %d", n)
+	}
+	parent := make([]int, n)
+	parent[0] = -1
+	spine := (n + 1) / 2
+	for v := 1; v < spine; v++ {
+		parent[v] = v - 1
+	}
+	for v := spine; v < n; v++ {
+		parent[v] = v - spine
+	}
+	return treeInstance(fmt.Sprintf("caterpillar-%d", n), parent)
+}
+
+func treeInstance(name string, parent []int) (*Instance, error) {
+	n := len(parent)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		if parent[v] >= 0 {
+			g.MustAddEdge(v, parent[v])
+		}
+	}
+	orders := make([][]int, n)
+	for v := 0; v < n; v++ {
+		orders[v] = g.Neighbors(v)
+	}
+	emb, err := planar.FromNeighborOrders(g, orders)
+	if err != nil {
+		return nil, err
+	}
+	if err := emb.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: tree embedding invalid: %w", err)
+	}
+	outer := 0
+	if n > 1 {
+		outer = emb.Rotation(0)[0]
+	}
+	return &Instance{Name: name, G: g, Emb: emb, OuterDart: outer}, nil
+}

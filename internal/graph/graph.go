@@ -1,0 +1,181 @@
+// Package graph provides the basic undirected-graph substrate used by the
+// rest of the repository: adjacency storage, edge identities, traversal,
+// connectivity and diameter computation, and a union–find structure.
+//
+// Vertices are integers 0..N-1. Edges carry stable integer identifiers so
+// that embeddings (package planar) can refer to half-edges ("darts") as
+// 2*edgeID and 2*edgeID+1.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between vertices U and V.
+type Edge struct {
+	U, V int
+}
+
+// Normalize returns the edge with endpoints in ascending order.
+func (e Edge) Normalize() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e different from x.
+// It panics if x is not an endpoint of e.
+func (e Edge) Other(x int) int {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", x, e))
+}
+
+// Graph is a simple undirected graph with stable edge identifiers.
+// The zero value is an empty graph with no vertices; use New.
+type Graph struct {
+	n     int
+	edges []Edge
+	// adj[v] lists the incident edge IDs of v in insertion order.
+	adj [][]int
+	// edgeID maps a normalized edge to its identifier.
+	edgeID map[Edge]int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{
+		n:      n,
+		adj:    make([][]int, n),
+		edgeID: make(map[Edge]int),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u,v} and returns its identifier.
+// Self-loops and duplicate edges are rejected with an error.
+func (g *Graph) AddEdge(u, v int) (int, error) {
+	if u == v {
+		return -1, fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return -1, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	key := Edge{U: u, V: v}.Normalize()
+	if _, ok := g.edgeID[key]; ok {
+		return -1, fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, key)
+	g.edgeID[key] = id
+	g.adj[u] = append(g.adj[u], id)
+	g.adj[v] = append(g.adj[v], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for generators and
+// tests where the input is known to be valid.
+func (g *Graph) MustAddEdge(u, v int) int {
+	id, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// HasEdge reports whether {u,v} is an edge of g.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.edgeID[Edge{U: u, V: v}.Normalize()]
+	return ok
+}
+
+// EdgeID returns the identifier of edge {u,v} and whether it exists.
+func (g *Graph) EdgeID(u, v int) (int, bool) {
+	id, ok := g.edgeID[Edge{U: u, V: v}.Normalize()]
+	return id, ok
+}
+
+// EdgeByID returns the edge with the given identifier.
+func (g *Graph) EdgeByID(id int) Edge { return g.edges[id] }
+
+// Edges returns a copy of the edge list, indexed by edge ID.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// IncidentEdges returns the identifiers of edges incident to v
+// in insertion order. The returned slice must not be modified.
+func (g *Graph) IncidentEdges(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the neighbours of v in incident-edge order.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, len(g.adj[v]))
+	for i, id := range g.adj[v] {
+		out[i] = g.edges[id].Other(v)
+	}
+	return out
+}
+
+// Clone returns a deep copy of g. Edge identifiers are preserved.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for _, e := range g.edges {
+		c.MustAddEdge(e.U, e.V)
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// along with the mapping from new vertex index to original vertex.
+// Vertices are renumbered 0..len(vs)-1 in the order given (duplicates
+// are rejected).
+func (g *Graph) InducedSubgraph(vs []int) (*Graph, []int, error) {
+	idx := make(map[int]int, len(vs))
+	orig := make([]int, len(vs))
+	for i, v := range vs {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("graph: vertex %d out of range", v)
+		}
+		if _, dup := idx[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate vertex %d", v)
+		}
+		idx[v] = i
+		orig[i] = v
+	}
+	sub := New(len(vs))
+	for _, e := range g.edges {
+		iu, okU := idx[e.U]
+		iv, okV := idx[e.V]
+		if okU && okV {
+			sub.MustAddEdge(iu, iv)
+		}
+	}
+	return sub, orig, nil
+}
+
+// SortedNeighbors returns the neighbours of v sorted ascending; useful for
+// deterministic iteration in tests.
+func (g *Graph) SortedNeighbors(v int) []int {
+	ns := g.Neighbors(v)
+	sort.Ints(ns)
+	return ns
+}

@@ -1,0 +1,137 @@
+package graph
+
+// BFSResult holds the output of a breadth-first search.
+type BFSResult struct {
+	Source int
+	// Dist[v] is the hop distance from Source, or -1 if unreachable.
+	Dist []int
+	// Parent[v] is the BFS-tree parent of v, or -1 for the source and
+	// unreachable vertices.
+	Parent []int
+	// Order lists reached vertices in visit order (Source first).
+	Order []int
+}
+
+// BFS runs a breadth-first search from src. Ties are broken by incident-edge
+// insertion order, so the result is deterministic.
+func (g *Graph) BFS(src int) *BFSResult {
+	res := &BFSResult{
+		Source: src,
+		Dist:   make([]int, g.n),
+		Parent: make([]int, g.n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = -1
+	}
+	res.Dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		res.Order = append(res.Order, v)
+		for _, id := range g.adj[v] {
+			w := g.edges[id].Other(v)
+			if res.Dist[w] < 0 {
+				res.Dist[w] = res.Dist[v] + 1
+				res.Parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return res
+}
+
+// Eccentricity returns the maximum BFS distance from v to any reachable
+// vertex.
+func (g *Graph) Eccentricity(v int) int {
+	res := g.BFS(v)
+	ecc := 0
+	for _, d := range res.Dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact hop diameter of g, computed by a BFS from every
+// vertex. It returns 0 for graphs with fewer than two vertices and -1 for
+// disconnected graphs.
+func (g *Graph) Diameter() int {
+	if g.n <= 1 {
+		return 0
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		res := g.BFS(v)
+		for _, d := range res.Dist {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Connected reports whether g is connected. The empty graph is connected.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	res := g.BFS(0)
+	return len(res.Order) == g.n
+}
+
+// Components returns the connected components of g, each as a sorted vertex
+// list, ordered by smallest contained vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		res := g.BFS(v)
+		comp := make([]int, 0, len(res.Order))
+		for _, w := range res.Order {
+			seen[w] = true
+			comp = append(comp, w)
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// ComponentsAvoiding returns the connected components of g after deleting
+// the vertices in the removed set. Each component is listed in BFS order
+// from its smallest vertex.
+func (g *Graph) ComponentsAvoiding(removed map[int]bool) [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] || removed[v] {
+			continue
+		}
+		var comp []int
+		queue := []int{v}
+		seen[v] = true
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			comp = append(comp, x)
+			for _, id := range g.adj[x] {
+				w := g.edges[id].Other(x)
+				if !seen[w] && !removed[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

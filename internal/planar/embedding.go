@@ -1,0 +1,167 @@
+// Package planar implements combinatorial planar embeddings (rotation
+// systems) over the graphs of package graph, together with the geometric
+// primitives the paper's algorithms rest on: face tracing, Euler-genus
+// validation, dual graphs, Jordan inside/outside classification of cycles,
+// and ℰ-compatible insertion of virtual edges.
+//
+// # Darts
+//
+// Every undirected edge e (with graph edge ID e) is split into two darts:
+// dart 2e is directed from e.U to e.V, dart 2e+1 from e.V to e.U. A rotation
+// system assigns to each vertex v the *clockwise* cyclic order of the darts
+// whose tail is v. Faces are traced with the convention that, for a genus-0
+// rotation system drawn in the plane, every inner face is traversed
+// counterclockwise (interior to the left of each dart) and the outer face
+// clockwise.
+package planar
+
+import (
+	"fmt"
+
+	"planardfs/internal/graph"
+)
+
+// Tail returns the tail vertex of dart d in g.
+func Tail(g *graph.Graph, d int) int {
+	e := g.EdgeByID(d / 2)
+	if d%2 == 0 {
+		return e.U
+	}
+	return e.V
+}
+
+// Head returns the head vertex of dart d in g.
+func Head(g *graph.Graph, d int) int {
+	e := g.EdgeByID(d / 2)
+	if d%2 == 0 {
+		return e.V
+	}
+	return e.U
+}
+
+// Twin returns the reversal of dart d.
+func Twin(d int) int { return d ^ 1 }
+
+// DartFrom returns the dart of edge id directed out of vertex u.
+func DartFrom(g *graph.Graph, id, u int) int {
+	e := g.EdgeByID(id)
+	switch u {
+	case e.U:
+		return 2 * id
+	case e.V:
+		return 2*id + 1
+	}
+	panic(fmt.Sprintf("planar: vertex %d not an endpoint of edge %d", u, id))
+}
+
+// Embedding is a rotation system over a graph: for every vertex, the
+// clockwise cyclic ordering of its outgoing darts.
+type Embedding struct {
+	g *graph.Graph
+	// rot[v] lists the darts with tail v in clockwise order.
+	rot [][]int
+	// pos[d] is the index of dart d within rot[Tail(d)].
+	pos []int
+}
+
+// NewEmbedding builds an embedding from per-vertex clockwise dart orders.
+// Each rot[v] must be a permutation of the darts with tail v.
+func NewEmbedding(g *graph.Graph, rot [][]int) (*Embedding, error) {
+	if len(rot) != g.N() {
+		return nil, fmt.Errorf("planar: rotation for %d vertices, graph has %d", len(rot), g.N())
+	}
+	emb := &Embedding{g: g, rot: make([][]int, g.N()), pos: make([]int, 2*g.M())}
+	for i := range emb.pos {
+		emb.pos[i] = -1
+	}
+	for v := range rot {
+		if len(rot[v]) != g.Degree(v) {
+			return nil, fmt.Errorf("planar: vertex %d has degree %d but rotation of length %d", v, g.Degree(v), len(rot[v]))
+		}
+		emb.rot[v] = make([]int, len(rot[v]))
+		copy(emb.rot[v], rot[v])
+		for i, d := range rot[v] {
+			if d < 0 || d >= 2*g.M() {
+				return nil, fmt.Errorf("planar: dart %d out of range at vertex %d", d, v)
+			}
+			if Tail(g, d) != v {
+				return nil, fmt.Errorf("planar: dart %d has tail %d, listed at vertex %d", d, Tail(g, d), v)
+			}
+			if emb.pos[d] != -1 {
+				return nil, fmt.Errorf("planar: dart %d listed twice", d)
+			}
+			emb.pos[d] = i
+		}
+	}
+	for d, p := range emb.pos {
+		if p == -1 {
+			return nil, fmt.Errorf("planar: dart %d missing from rotation system", d)
+		}
+	}
+	return emb, nil
+}
+
+// FromNeighborOrders builds an embedding from per-vertex clockwise neighbour
+// orderings (valid for simple graphs, where a neighbour identifies the edge).
+func FromNeighborOrders(g *graph.Graph, orders [][]int) (*Embedding, error) {
+	rot := make([][]int, g.N())
+	for v := range orders {
+		rot[v] = make([]int, len(orders[v]))
+		for i, w := range orders[v] {
+			id, ok := g.EdgeID(v, w)
+			if !ok {
+				return nil, fmt.Errorf("planar: vertex %d lists non-neighbour %d", v, w)
+			}
+			rot[v][i] = DartFrom(g, id, v)
+		}
+	}
+	return NewEmbedding(g, rot)
+}
+
+// Graph returns the underlying graph.
+func (emb *Embedding) Graph() *graph.Graph { return emb.g }
+
+// Rotation returns the clockwise dart order at v. The slice must not be
+// modified.
+func (emb *Embedding) Rotation(v int) []int { return emb.rot[v] }
+
+// Pos returns the index of dart d within the rotation of its tail.
+func (emb *Embedding) Pos(d int) int { return emb.pos[d] }
+
+// NextCW returns the dart clockwise-after d around its tail vertex.
+func (emb *Embedding) NextCW(d int) int {
+	r := emb.rot[Tail(emb.g, d)]
+	return r[(emb.pos[d]+1)%len(r)]
+}
+
+// NextCCW returns the dart counterclockwise-after d around its tail vertex.
+func (emb *Embedding) NextCCW(d int) int {
+	r := emb.rot[Tail(emb.g, d)]
+	return r[(emb.pos[d]-1+len(r))%len(r)]
+}
+
+// FaceNext returns the successor of dart d along its face, using the
+// convention that the face interior lies to the left of d: the successor is
+// the clockwise-next dart after Twin(d) around Head(d).
+func (emb *Embedding) FaceNext(d int) int {
+	return emb.NextCW(Twin(d))
+}
+
+// Clone returns a deep copy of the embedding (sharing the graph).
+func (emb *Embedding) Clone() *Embedding {
+	c := &Embedding{g: emb.g, rot: make([][]int, len(emb.rot)), pos: make([]int, len(emb.pos))}
+	for v := range emb.rot {
+		c.rot[v] = append([]int(nil), emb.rot[v]...)
+	}
+	copy(c.pos, emb.pos)
+	return c
+}
+
+// NeighborOrder returns the clockwise neighbour ordering at v.
+func (emb *Embedding) NeighborOrder(v int) []int {
+	out := make([]int, len(emb.rot[v]))
+	for i, d := range emb.rot[v] {
+		out[i] = Head(emb.g, d)
+	}
+	return out
+}

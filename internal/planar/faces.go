@@ -1,0 +1,188 @@
+package planar
+
+import (
+	"fmt"
+
+	"planardfs/internal/graph"
+)
+
+// Faces is the face structure of an embedding: every dart belongs to exactly
+// one face cycle.
+type Faces struct {
+	emb *Embedding
+	// FaceOf[d] is the face index of dart d.
+	FaceOf []int
+	// Cycles[f] lists the darts of face f in traversal order.
+	Cycles [][]int
+}
+
+// TraceFaces computes all faces of the embedding by iterating the FaceNext
+// successor rule.
+func (emb *Embedding) TraceFaces() *Faces {
+	m2 := 2 * emb.g.M()
+	fs := &Faces{emb: emb, FaceOf: make([]int, m2)}
+	for i := range fs.FaceOf {
+		fs.FaceOf[i] = -1
+	}
+	for d := 0; d < m2; d++ {
+		if fs.FaceOf[d] != -1 {
+			continue
+		}
+		id := len(fs.Cycles)
+		var cyc []int
+		for x := d; fs.FaceOf[x] == -1; x = emb.FaceNext(x) {
+			fs.FaceOf[x] = id
+			cyc = append(cyc, x)
+		}
+		fs.Cycles = append(fs.Cycles, cyc)
+	}
+	return fs
+}
+
+// Count returns the number of faces.
+func (fs *Faces) Count() int { return len(fs.Cycles) }
+
+// FaceVertices returns the vertices on face f in traversal order (a vertex
+// may repeat if the face boundary visits it more than once).
+func (fs *Faces) FaceVertices(f int) []int {
+	out := make([]int, len(fs.Cycles[f]))
+	for i, d := range fs.Cycles[f] {
+		out[i] = Tail(fs.emb.g, d)
+	}
+	return out
+}
+
+// FacesAtVertex returns the distinct faces incident to v.
+func (fs *Faces) FacesAtVertex(v int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range fs.emb.rot[v] {
+		f := fs.FaceOf[d]
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Genus returns the Euler genus of the embedding, assuming the underlying
+// graph is connected: g = (2 - V + E - F) / 2.
+func (emb *Embedding) Genus() int {
+	return (2 - emb.g.N() + emb.g.M() - emb.faceCount()) / 2
+}
+
+// faceCount returns the number of faces, counting the single face of an
+// edgeless graph (which has no dart cycles) as 1.
+func (emb *Embedding) faceCount() int {
+	if emb.g.M() == 0 {
+		return 1
+	}
+	return emb.TraceFaces().Count()
+}
+
+// Validate checks that the embedding is genus 0 (a planar embedding) and the
+// graph is connected.
+func (emb *Embedding) Validate() error {
+	if !emb.g.Connected() {
+		return fmt.Errorf("planar: graph is not connected")
+	}
+	euler := emb.g.N() - emb.g.M() + emb.faceCount()
+	if euler != 2 {
+		return fmt.Errorf("planar: rotation system has Euler characteristic %d (genus %d), not a planar embedding",
+			euler, (2-euler)/2)
+	}
+	return nil
+}
+
+// Dual returns the dual graph of the embedding: one vertex per face, one
+// edge per primal edge (connecting the faces on its two sides). Dual edge
+// identifiers equal primal edge identifiers. Duplicate face pairs and loops
+// are possible in duals, so the dual is returned as an adjacency via edge
+// sides rather than a graph.Graph.
+type Dual struct {
+	Faces *Faces
+	// Side[e] gives the two face indices separated by primal edge e
+	// (Side[e][0] = face of dart 2e, Side[e][1] = face of dart 2e+1).
+	Side [][2]int
+}
+
+// BuildDual computes the dual structure of the embedding.
+func (emb *Embedding) BuildDual() *Dual {
+	fs := emb.TraceFaces()
+	d := &Dual{Faces: fs, Side: make([][2]int, emb.g.M())}
+	for e := 0; e < emb.g.M(); e++ {
+		d.Side[e] = [2]int{fs.FaceOf[2*e], fs.FaceOf[2*e+1]}
+	}
+	return d
+}
+
+// CycleClassification is the result of classifying the plane against a
+// simple cycle: which faces and vertices are strictly inside.
+type CycleClassification struct {
+	// OnCycle[v] reports whether v lies on the cycle.
+	OnCycle []bool
+	// InsideVertex[v] reports whether v is strictly inside the cycle.
+	InsideVertex []bool
+	// InsideFace[f] reports whether face f is inside the cycle.
+	InsideFace []bool
+}
+
+// ClassifyCycle classifies faces and vertices of the embedding against the
+// simple cycle formed by the given edge IDs, taking outerFace (a face index
+// of emb.TraceFaces ordering) as the unbounded face. The cycle's edges cut
+// the dual graph into exactly two components; the component containing
+// outerFace is the outside.
+func (emb *Embedding) ClassifyCycle(cycleEdges []int, outerFace int) (*CycleClassification, error) {
+	fs := emb.TraceFaces()
+	onCycleEdge := make([]bool, emb.g.M())
+	for _, e := range cycleEdges {
+		if e < 0 || e >= emb.g.M() {
+			return nil, fmt.Errorf("planar: cycle edge %d out of range", e)
+		}
+		if onCycleEdge[e] {
+			return nil, fmt.Errorf("planar: cycle edge %d repeated", e)
+		}
+		onCycleEdge[e] = true
+	}
+	// Union faces across non-cycle edges.
+	uf := graph.NewUnionFind(fs.Count())
+	for e := 0; e < emb.g.M(); e++ {
+		if !onCycleEdge[e] {
+			uf.Union(fs.FaceOf[2*e], fs.FaceOf[2*e+1])
+		}
+	}
+	if uf.Count() != 2 {
+		return nil, fmt.Errorf("planar: edge set does not cut the sphere into 2 regions (got %d); not a simple cycle", uf.Count())
+	}
+	out := uf.Find(outerFace)
+	cc := &CycleClassification{
+		OnCycle:      make([]bool, emb.g.N()),
+		InsideVertex: make([]bool, emb.g.N()),
+		InsideFace:   make([]bool, fs.Count()),
+	}
+	for f := 0; f < fs.Count(); f++ {
+		cc.InsideFace[f] = uf.Find(f) != out
+	}
+	for _, e := range cycleEdges {
+		ed := emb.g.EdgeByID(e)
+		cc.OnCycle[ed.U] = true
+		cc.OnCycle[ed.V] = true
+	}
+	for v := 0; v < emb.g.N(); v++ {
+		if cc.OnCycle[v] || len(emb.rot[v]) == 0 {
+			continue
+		}
+		// All incident faces of a non-cycle vertex are on one side.
+		cc.InsideVertex[v] = cc.InsideFace[fs.FaceOf[emb.rot[v][0]]]
+	}
+	return cc, nil
+}
+
+// OuterFaceOf returns the face index (w.r.t. emb.TraceFaces ordering)
+// containing the given dart. Generators designate the outer face by one of
+// its darts.
+func (emb *Embedding) OuterFaceOf(dart int) int {
+	fs := emb.TraceFaces()
+	return fs.FaceOf[dart]
+}

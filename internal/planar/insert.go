@@ -1,0 +1,113 @@
+package planar
+
+import (
+	"fmt"
+
+	"planardfs/internal/graph"
+)
+
+// Insertion describes one way of inserting a virtual edge {U,V} into an
+// embedding: the new dart out of U is placed at index PosU of U's rotation
+// (shifting existing darts right), and symmetrically at V.
+type Insertion struct {
+	U, V       int
+	PosU, PosV int
+}
+
+// InsertEdge returns a new graph and embedding with the edge {u,v} inserted
+// at the given rotation positions. The input graph and embedding are not
+// modified. The new edge's ID in the returned graph is the old M().
+func (emb *Embedding) InsertEdge(ins Insertion) (*graph.Graph, *Embedding, error) {
+	g := emb.g
+	if g.HasEdge(ins.U, ins.V) {
+		return nil, nil, fmt.Errorf("planar: edge {%d,%d} already present", ins.U, ins.V)
+	}
+	if ins.U == ins.V {
+		return nil, nil, fmt.Errorf("planar: cannot insert self-loop at %d", ins.U)
+	}
+	if ins.PosU < 0 || ins.PosU > g.Degree(ins.U) || ins.PosV < 0 || ins.PosV > g.Degree(ins.V) {
+		return nil, nil, fmt.Errorf("planar: insertion positions out of range")
+	}
+	ng := g.Clone()
+	id := ng.MustAddEdge(ins.U, ins.V)
+	dU := DartFrom(ng, id, ins.U)
+	dV := DartFrom(ng, id, ins.V)
+	rot := make([][]int, ng.N())
+	for v := 0; v < ng.N(); v++ {
+		old := emb.rot[v]
+		switch v {
+		case ins.U:
+			rot[v] = insertAt(old, ins.PosU, dU)
+		case ins.V:
+			rot[v] = insertAt(old, ins.PosV, dV)
+		default:
+			rot[v] = append([]int(nil), old...)
+		}
+	}
+	nemb, err := NewEmbedding(ng, rot)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ng, nemb, nil
+}
+
+func insertAt(s []int, i, x int) []int {
+	out := make([]int, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, x)
+	out = append(out, s[i:]...)
+	return out
+}
+
+// CompatibleInsertions returns every insertion of the virtual edge {u,v}
+// that keeps the rotation system planar (genus 0). A non-empty result means
+// {u,v} is an ℰ-compatible virtual fundamental edge in the paper's sense.
+// The search is brute force over all position pairs and intended for
+// verification and small instances.
+func (emb *Embedding) CompatibleInsertions(u, v int) []Insertion {
+	var out []Insertion
+	for pu := 0; pu <= emb.g.Degree(u); pu++ {
+		for pv := 0; pv <= emb.g.Degree(v); pv++ {
+			ins := Insertion{U: u, V: v, PosU: pu, PosV: pv}
+			_, nemb, err := emb.InsertEdge(ins)
+			if err != nil {
+				continue
+			}
+			if nemb.Genus() == 0 {
+				out = append(out, ins)
+			}
+		}
+	}
+	return out
+}
+
+// ECompatible reports whether the virtual edge {u,v} admits at least one
+// planarity-preserving insertion.
+func (emb *Embedding) ECompatible(u, v int) bool {
+	return len(emb.CompatibleInsertions(u, v)) > 0
+}
+
+// FaceInsertions returns the insertions of virtual edge {u,v} that place the
+// new edge inside a single existing face, i.e. u and v both lie on that face
+// and the edge is drawn through it. These are exactly the
+// planarity-preserving insertions, enumerated directly from the face
+// structure (more efficient than CompatibleInsertions).
+//
+// For each face incidence of u (a dart d1 of the face with tail u) and each
+// face incidence of v on the same face (dart d2 with tail v), inserting the
+// new dart immediately before d1 at u and before d2 at v splits that face in
+// two and preserves planarity.
+func (emb *Embedding) FaceInsertions(u, v int) []Insertion {
+	fs := emb.TraceFaces()
+	var out []Insertion
+	for _, d1 := range emb.rot[u] {
+		f := fs.FaceOf[d1]
+		for _, d2 := range emb.rot[v] {
+			if fs.FaceOf[d2] != f {
+				continue
+			}
+			out = append(out, Insertion{U: u, V: v, PosU: emb.pos[d1], PosV: emb.pos[d2]})
+		}
+	}
+	return out
+}

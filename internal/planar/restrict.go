@@ -1,0 +1,100 @@
+package planar
+
+import (
+	"fmt"
+
+	"planardfs/internal/graph"
+)
+
+// Restriction is an embedded induced subgraph together with the vertex
+// mapping back to the parent graph and the designated outer face of the
+// sub-embedding.
+type Restriction struct {
+	G   *graph.Graph
+	Emb *Embedding
+	// Orig maps sub-vertex -> original vertex.
+	Orig []int
+	// Sub maps original vertex -> sub-vertex (-1 if absent).
+	Sub []int
+	// OuterDart is a dart of the sub-embedding lying on the face that
+	// contains the parent embedding's outer region, or -1 if the subgraph
+	// has no edges.
+	OuterDart int
+}
+
+// RestrictTo returns the embedding induced on the given vertices. The outer
+// face of the restriction is the sub-face whose region contains the parent
+// outer face: sub-faces are unions of parent faces merged across edges not
+// present in the subgraph (and around absent vertices), so the sub-face
+// containing the parent outer face is found by a union–find over parent
+// faces.
+func (emb *Embedding) RestrictTo(vs []int, outerFace int) (*Restriction, error) {
+	g := emb.g
+	sub, orig, err := g.InducedSubgraph(vs)
+	if err != nil {
+		return nil, err
+	}
+	subOf := make([]int, g.N())
+	for i := range subOf {
+		subOf[i] = -1
+	}
+	for i, v := range orig {
+		subOf[v] = i
+	}
+	// Rotation orders: filter each kept vertex's rotation to kept edges.
+	orders := make([][]int, sub.N())
+	for i, v := range orig {
+		for _, d := range emb.rot[v] {
+			w := Head(g, d)
+			if subOf[w] >= 0 {
+				orders[i] = append(orders[i], subOf[w])
+			}
+		}
+	}
+	semb, err := FromNeighborOrders(sub, orders)
+	if err != nil {
+		return nil, err
+	}
+	res := &Restriction{G: sub, Emb: semb, Orig: orig, Sub: subOf, OuterDart: -1}
+	if sub.M() == 0 {
+		return res, nil
+	}
+	// Merge parent faces across absent edges.
+	fs := emb.TraceFaces()
+	uf := graph.NewUnionFind(fs.Count())
+	for e := 0; e < g.M(); e++ {
+		ed := g.EdgeByID(e)
+		if subOf[ed.U] < 0 || subOf[ed.V] < 0 {
+			uf.Union(fs.FaceOf[2*e], fs.FaceOf[2*e+1])
+		}
+	}
+	outerClass := uf.Find(outerFace)
+	// Find a kept dart bordering the merged outer region, and map it to the
+	// corresponding sub-dart.
+	for e := 0; e < g.M(); e++ {
+		ed := g.EdgeByID(e)
+		su, sv := subOf[ed.U], subOf[ed.V]
+		if su < 0 || sv < 0 {
+			continue
+		}
+		sid, ok := sub.EdgeID(su, sv)
+		if !ok {
+			return nil, fmt.Errorf("planar: induced edge {%d,%d} missing", su, sv)
+		}
+		for dir := 0; dir < 2; dir++ {
+			d := 2*e + dir
+			if uf.Find(fs.FaceOf[d]) != outerClass {
+				continue
+			}
+			// Dart 2e goes U->V; the matching sub-dart goes su->sv. Edge
+			// normalization may swap endpoints, so use DartFrom.
+			from := ed.U
+			if dir == 1 {
+				from = ed.V
+			}
+			res.OuterDart = DartFrom(sub, sid, subOf[from])
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("planar: no sub-dart borders the outer region")
+}

@@ -1,0 +1,85 @@
+// Package randsep implements a randomized cycle-separator baseline in the
+// style of Ghaffari and Parter (DISC 2017): face weights are *estimated*
+// from a uniform vertex sample instead of computed exactly by the paper's
+// deterministic formula. It exists to quantify what the deterministic
+// algorithm buys (experiment E10): the sampling estimator needs
+// Θ(log n / ε²) samples per face to stay inside the safety band with high
+// probability, can fail (no face passes the band, or an unbalanced face
+// passes), and its round cost in CONGEST carries the same Õ(D) shortcut
+// factors plus the sampling overhead.
+package randsep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planardfs/internal/separator"
+	"planardfs/internal/weights"
+)
+
+// Result is the outcome of one randomized separator attempt.
+type Result struct {
+	Sep *separator.Separator
+	// Samples is the number of sampled vertices.
+	Samples int
+	// EstimateErr is the largest absolute estimation error observed across
+	// faces (diagnostic; computed against the deterministic formula).
+	EstimateErr int
+}
+
+// ErrNoCandidate is returned when no face estimate lands in the safety
+// band; callers fall back or retry with a larger sample.
+var ErrNoCandidate = fmt.Errorf("randsep: no face estimate within the safety band")
+
+// Find estimates every real fundamental face's extent |F̄_e| (inside plus
+// border) from a uniform sample of the given rate, and returns the T-path
+// of a face whose estimate lies within [ (1/3+margin)n, (2/3-margin)n ].
+// The returned separator is NOT guaranteed balanced — that is the point of
+// the baseline; experiment E10 measures the failure rate against the
+// deterministic algorithm's 100%.
+func Find(cfg *weights.Config, sampleRate, margin float64, rng *rand.Rand) (*Result, error) {
+	n := cfg.G.N()
+	if sampleRate <= 0 || sampleRate > 1 {
+		return nil, fmt.Errorf("randsep: sample rate %v out of (0,1]", sampleRate)
+	}
+	var sample []int
+	for v := 0; v < n; v++ {
+		if rng.Float64() < sampleRate {
+			sample = append(sample, v)
+		}
+	}
+	res := &Result{Samples: len(sample)}
+	if len(sample) == 0 {
+		return res, ErrNoCandidate
+	}
+	lo := (1.0/3.0 + margin) * float64(n)
+	hi := (2.0/3.0 - margin) * float64(n)
+	scale := float64(n) / float64(len(sample))
+	for _, e := range cfg.FundamentalEdges() {
+		ec := cfg.Classify(e)
+		hits := 0
+		for _, z := range sample {
+			b, in := cfg.InFace(ec, z)
+			if b || in {
+				hits++
+			}
+		}
+		est := scale * float64(hits)
+		exact := len(cfg.InsideNodes(ec)) + len(cfg.BorderNodes(ec))
+		if d := int(est) - exact; d > res.EstimateErr {
+			res.EstimateErr = d
+		} else if -d > res.EstimateErr {
+			res.EstimateErr = -d
+		}
+		if est >= lo && est <= hi {
+			res.Sep = &separator.Separator{
+				Path:  cfg.Tree.TPath(ec.U, ec.V),
+				EndA:  ec.U,
+				EndB:  ec.V,
+				Phase: separator.PhaseDirect,
+			}
+			return res, nil
+		}
+	}
+	return res, ErrNoCandidate
+}

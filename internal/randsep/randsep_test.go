@@ -1,0 +1,106 @@
+package randsep
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"planardfs/internal/gen"
+	"planardfs/internal/separator"
+	"planardfs/internal/spanning"
+	"planardfs/internal/weights"
+)
+
+func cfgOf(t *testing.T, in *gen.Instance) *weights.Config {
+	t.Helper()
+	fs := in.Emb.TraceFaces()
+	root := fs.FaceVertices(in.OuterFace())[0]
+	tr, err := spanning.BFSTree(in.G, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := weights.NewConfig(in.G, in.Emb, in.OuterDart, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestFindValidatesRate(t *testing.T) {
+	in, err := gen.Grid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgOf(t, in)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Find(cfg, 0, 0.02, rng); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Find(cfg, 1.5, 0.02, rng); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+// With a full sample the estimator is exact: if a face exists in the band,
+// the result is balanced.
+func TestFullSampleIsExact(t *testing.T) {
+	okCnt, tried := 0, 0
+	for seed := int64(1); seed <= 10; seed++ {
+		in, err := gen.StackedTriangulation(60, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cfgOf(t, in)
+		rng := rand.New(rand.NewSource(seed))
+		res, err := Find(cfg, 1.0, 0.0, rng)
+		tried++
+		if errors.Is(err, ErrNoCandidate) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EstimateErr != 0 {
+			t.Fatalf("full sample had estimation error %d", res.EstimateErr)
+		}
+		n := cfg.G.N()
+		if maxC := separator.VerifyBalance(cfg.G, res.Sep.Path); 3*maxC > 2*n {
+			t.Fatalf("full-sample separator unbalanced: %d of %d", maxC, n)
+		}
+		okCnt++
+	}
+	if okCnt == 0 {
+		t.Fatalf("no instance had a direct in-band face (%d tried)", tried)
+	}
+}
+
+// Small samples must fail (no candidate) noticeably more often than large
+// samples — the quantitative story of E10.
+func TestFailureRateDropsWithSamples(t *testing.T) {
+	fail := func(rate float64) int {
+		fails := 0
+		for seed := int64(1); seed <= 30; seed++ {
+			in, err := gen.StackedTriangulation(80, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := cfgOf(t, in)
+			rng := rand.New(rand.NewSource(seed * 77))
+			res, err := Find(cfg, rate, 0.05, rng)
+			if err != nil {
+				fails++
+				continue
+			}
+			n := cfg.G.N()
+			if maxC := separator.VerifyBalance(cfg.G, res.Sep.Path); 3*maxC > 2*n {
+				fails++
+			}
+		}
+		return fails
+	}
+	small, large := fail(0.05), fail(0.9)
+	if small < large {
+		t.Fatalf("failure did not drop with sample size: %d (5%%) vs %d (90%%)", small, large)
+	}
+	t.Logf("failures out of 30: rate 0.05 -> %d, rate 0.9 -> %d", small, large)
+}

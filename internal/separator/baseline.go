@@ -1,0 +1,42 @@
+package separator
+
+import (
+	"planardfs/internal/graph"
+)
+
+// BFSLevelSeparator returns the classical BFS-level separator used as the
+// first step of Lipton–Tarjan: the level containing the median-ranked
+// vertex. Removing it leaves every component with at most n/2 vertices
+// (components lie entirely above or below the level), but unlike the cycle
+// separator its size is only bounded by the level width, which can be
+// Θ(n).
+func BFSLevelSeparator(g *graph.Graph, root int) []int {
+	res := g.BFS(root)
+	n := g.N()
+	maxD := 0
+	for _, d := range res.Dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	count := make([]int, maxD+1)
+	for _, d := range res.Dist {
+		count[d]++
+	}
+	// Median level.
+	med, acc := 0, 0
+	for l, c := range count {
+		acc += c
+		if 2*acc >= n {
+			med = l
+			break
+		}
+	}
+	var out []int
+	for v, d := range res.Dist {
+		if d == med {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package separator
+
+import (
+	"fmt"
+
+	"planardfs/internal/planar"
+	"planardfs/internal/shortcut"
+	"planardfs/internal/spanning"
+	"planardfs/internal/weights"
+)
+
+// PartResult is a per-part cycle separator in original vertex IDs.
+type PartResult struct {
+	Part int
+	// Sep is the separator with Path/EndA/EndB in original vertex IDs.
+	Sep *Separator
+	// SubN is the part size.
+	SubN int
+}
+
+// ForPartition computes, for every part of the partition, a cycle separator
+// of the induced subgraph (the partition-parallel form of Theorem 1). Each
+// part must induce a connected subgraph. Embeddings of the parts are the
+// restrictions of emb; per-part spanning trees are BFS trees rooted on the
+// part's outer face.
+func ForPartition(emb *planar.Embedding, outerDart int, part *shortcut.Partition) ([]*PartResult, error) {
+	outerFace := emb.OuterFaceOf(outerDart)
+	out := make([]*PartResult, 0, part.K())
+	for i, vs := range part.Parts {
+		sep, err := ForSubset(emb, outerFace, vs)
+		if err != nil {
+			return nil, fmt.Errorf("part %d: %w", i, err)
+		}
+		out = append(out, &PartResult{Part: i, Sep: sep, SubN: len(vs)})
+	}
+	return out, nil
+}
+
+// ForSubset computes a cycle separator of the subgraph induced by vs
+// (which must be connected), returned in original vertex IDs.
+func ForSubset(emb *planar.Embedding, outerFace int, vs []int) (*Separator, error) {
+	res, err := emb.RestrictTo(vs, outerFace)
+	if err != nil {
+		return nil, err
+	}
+	if res.G.N() == 1 {
+		v := res.Orig[0]
+		return &Separator{Path: []int{v}, EndA: v, EndB: v, Phase: PhaseTree}, nil
+	}
+	if !res.G.Connected() {
+		return nil, fmt.Errorf("separator: subset induces a disconnected subgraph")
+	}
+	// Root on the restricted outer face.
+	fs := res.Emb.TraceFaces()
+	root := fs.FaceVertices(fs.FaceOf[res.OuterDart])[0]
+	tree, err := spanning.BFSTree(res.G, root)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := weights.NewConfig(res.G, res.Emb, res.OuterDart, tree)
+	if err != nil {
+		return nil, err
+	}
+	sep, err := Find(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Map back to original IDs.
+	mapped := &Separator{
+		Path:  make([]int, len(sep.Path)),
+		EndA:  res.Orig[sep.EndA],
+		EndB:  res.Orig[sep.EndB],
+		Phase: sep.Phase,
+	}
+	for i, v := range sep.Path {
+		mapped.Path[i] = res.Orig[v]
+	}
+	return mapped, nil
+}

@@ -1,0 +1,381 @@
+// Package separator implements the paper's main contribution (Theorem 1):
+// deterministic computation of cycle separators in embedded planar graphs
+// via the weights of fundamental faces and augmentations, following the
+// constructive proof of Lemma 1 and the phase structure of Section 5.3.
+//
+// A cycle separator is a set of vertices forming a path of the spanning
+// tree T whose endpoints are joined by a real edge of G or by an
+// ℰ-compatible virtual edge; removing it leaves connected components of at
+// most 2n/3 vertices each.
+package separator
+
+import (
+	"fmt"
+	"sort"
+
+	"planardfs/internal/graph"
+	"planardfs/internal/weights"
+)
+
+// Phase identifies which case of the algorithm produced a separator.
+type Phase int
+
+// Phases of the separator algorithm (Section 5.3).
+const (
+	// PhaseTree: the graph is a tree; the separator is the path from the
+	// root to a centroid (Phase 2).
+	PhaseTree Phase = iota + 1
+	// PhaseDirect: a real fundamental face has weight in [n/3, 2n/3]
+	// (Phase 3).
+	PhaseDirect
+	// PhaseAugmented: a full augmentation from an endpoint of a heavy face
+	// reached the range, and the target leaf is unhidden (Sub-phase 4.1).
+	PhaseAugmented
+	// PhaseHiddenFallback: the target leaf is hidden; the separator closes
+	// through the outermost hiding edge (Sub-phase 4.1, Claim 6).
+	PhaseHiddenFallback
+	// PhaseLongPath: the T-path closed by a real fundamental edge or by a
+	// compatible augmentation has at least n/3 vertices, so its removal
+	// leaves at most 2n/3 vertices in total (Lemma 1, condition 3).
+	PhaseLongPath
+	// PhaseHeavyBorder: no augmentation weight is in range; the heavy
+	// face's own border is the separator (Sub-phase 4.2).
+	PhaseHeavyBorder
+	// PhaseSparse: all faces are light and the outside of an outermost
+	// face is small; its border is the separator (Phase 5).
+	PhaseSparse
+	// PhaseSparseVirtual: all faces are light and one outside region is
+	// heavy; a virtual edge from the root creates a heavy face and the
+	// Phase 4 logic runs inside it (Phase 5 fallback, Lemma 8).
+	PhaseSparseVirtual
+	// PhaseExhaustive: the harness safety net found the separator by
+	// exhaustive search (counted by experiments; must not trigger).
+	PhaseExhaustive
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseTree:
+		return "tree"
+	case PhaseDirect:
+		return "direct"
+	case PhaseAugmented:
+		return "augmented"
+	case PhaseHiddenFallback:
+		return "hidden-fallback"
+	case PhaseLongPath:
+		return "long-path"
+	case PhaseHeavyBorder:
+		return "heavy-border"
+	case PhaseSparse:
+		return "sparse"
+	case PhaseSparseVirtual:
+		return "sparse-virtual"
+	case PhaseExhaustive:
+		return "exhaustive"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Separator is a cycle separator: a T-path whose removal balances the
+// graph.
+type Separator struct {
+	// Path lists the separator vertices in T-path order.
+	Path []int
+	// EndA and EndB are the path endpoints; the cycle closes between them
+	// through a real or virtual edge (equal for single-vertex separators).
+	EndA, EndB int
+	// Phase records which case produced the separator.
+	Phase Phase
+}
+
+// Options toggle individual design elements of the separator algorithm for
+// ablation studies (experiment E13). The zero value is the full algorithm.
+type Options struct {
+	// DisableLongPath skips Lemma 1's condition 3 (the >= n/3 T-path
+	// shortcut), forcing the weight machinery to cover those cases.
+	DisableLongPath bool
+	// DisableHiddenFallback skips the Claim 6 fallback: Phase 4.1 returns
+	// the augmented path even when the target leaf is hidden.
+	DisableHiddenFallback bool
+	// DisableAugmentation skips Phase 4.1 entirely: heavy faces fall
+	// straight to their border (Sub-phase 4.2).
+	DisableAugmentation bool
+	// DisableVirtualSweep restricts Phase 5's fallback to the paper's
+	// extreme-leaf candidates instead of the full root-face sweep.
+	DisableVirtualSweep bool
+}
+
+// Find computes a cycle separator of the configuration's graph following
+// Lemma 1's constructive proof. The result is a T-path; balance
+// (components of G - S of size at most 2n/3) is guaranteed by the paper's
+// case analysis and verified exhaustively by the test suite and
+// experiments.
+func Find(cfg *weights.Config) (*Separator, error) {
+	return FindWithOptions(cfg, Options{})
+}
+
+// FindWithOptions is Find with ablation toggles.
+func FindWithOptions(cfg *weights.Config, opt Options) (*Separator, error) {
+	n := cfg.G.N()
+	if n == 1 {
+		return &Separator{Path: []int{0}, EndA: 0, EndB: 0, Phase: PhaseTree}, nil
+	}
+	fund := cfg.FundamentalEdges()
+	if len(fund) == 0 {
+		// Phase 2: the graph is a tree.
+		c := cfg.Tree.Centroid()
+		return &Separator{
+			Path:  cfg.Tree.PathUp(c, cfg.Tree.Root),
+			EndA:  c,
+			EndB:  cfg.Tree.Root,
+			Phase: PhaseTree,
+		}, nil
+	}
+
+	w := make(map[int]int, len(fund))
+	for _, e := range fund {
+		w[e] = cfg.Weight(e)
+	}
+	inRange := func(x int) bool { return 3*x >= n && 3*x <= 2*n }
+
+	// Phase 3: a face with weight directly in range.
+	for _, e := range fund {
+		if inRange(w[e]) {
+			ec := cfg.Classify(e)
+			return &Separator{
+				Path:  cfg.Tree.TPath(ec.U, ec.V),
+				EndA:  ec.U,
+				EndB:  ec.V,
+				Phase: PhaseDirect,
+			}, nil
+		}
+	}
+
+	// Lemma 1, condition 3: a fundamental cycle whose T-path already has at
+	// least n/3 vertices — removing it leaves at most 2n/3 vertices in
+	// total, so it is a separator regardless of face weights.
+	for _, e := range fund {
+		if opt.DisableLongPath {
+			break
+		}
+		ec := cfg.Classify(e)
+		if 3*pathLen(cfg, ec.U, ec.V) >= n {
+			return &Separator{
+				Path:  cfg.Tree.TPath(ec.U, ec.V),
+				EndA:  ec.U,
+				EndB:  ec.V,
+				Phase: PhaseLongPath,
+			}, nil
+		}
+	}
+
+	// Phase 4: some face is heavy (> 2n/3).
+	var heavy []int
+	for _, e := range fund {
+		if 3*w[e] > 2*n {
+			heavy = append(heavy, e)
+		}
+	}
+	if len(heavy) > 0 {
+		e := pickInnermost(cfg, heavy, w)
+		return phase4(cfg, cfg.Classify(e), n, opt)
+	}
+
+	// Phase 5: every face is light (< n/3).
+	return phase5(cfg, fund, n, opt)
+}
+
+// phase4 handles a heavy face containing no other heavy face: the full
+// augmentation from U sweeps the face; either some augmentation weight
+// lands in range (Sub-phase 4.1, with the hidden fallback of Claim 6) or
+// the face border itself separates (Sub-phase 4.2).
+func phase4(cfg *weights.Config, ec weights.EdgeCase, n int, opt Options) (*Separator, error) {
+	inRange := func(x int) bool { return 3*x >= n && 3*x <= 2*n }
+	inside := cfg.InsideNodes(ec)
+
+	s := -1
+	if !opt.DisableAugmentation {
+		for _, z := range inside {
+			if inRange(cfg.AugWeight(ec, z)) {
+				s = z
+				break
+			}
+		}
+	}
+	if s < 0 {
+		// No augmentation weight lands in range. Before falling back to the
+		// face border (Sub-phase 4.2), apply Lemma 1's condition 3: the
+		// deepest inside vertex is a leaf; if its T-path from U has at
+		// least n/3 vertices and it is unhidden (hence compatible with U),
+		// that path separates outright.
+		if zd := deepestOf(cfg, inside); !opt.DisableLongPath && zd >= 0 &&
+			3*pathLen(cfg, ec.U, zd) >= n && len(cfg.HidingEdges(ec, zd)) == 0 {
+			return &Separator{
+				Path:  cfg.Tree.TPath(ec.U, zd),
+				EndA:  ec.U,
+				EndB:  zd,
+				Phase: PhaseLongPath,
+			}, nil
+		}
+		// Sub-phase 4.2.
+		return &Separator{
+			Path:  cfg.Tree.TPath(ec.U, ec.V),
+			EndA:  ec.U,
+			EndB:  ec.V,
+			Phase: PhaseHeavyBorder,
+		}, nil
+	}
+	// Remark 2: descend to the order-maximal leaf (same weight).
+	s = cfg.RightmostLeafIn(ec, s)
+
+	var hiding []int
+	if !opt.DisableHiddenFallback {
+		hiding = cfg.HidingEdges(ec, s)
+	}
+	if len(hiding) == 0 {
+		return &Separator{
+			Path:  cfg.Tree.TPath(ec.U, s),
+			EndA:  ec.U,
+			EndB:  s,
+			Phase: PhaseAugmented,
+		}, nil
+	}
+	// Claim 6: pick a hiding edge not contained in any other hiding edge
+	// and close through its far endpoint.
+	f := pickOutermostAmong(cfg, hiding)
+	fe := cfg.G.EdgeByID(f)
+	z2 := fe.U
+	if cfg.PiL[fe.V] > cfg.PiL[fe.U] {
+		z2 = fe.V
+	}
+	return &Separator{
+		Path:  cfg.Tree.TPath(ec.U, z2),
+		EndA:  ec.U,
+		EndB:  z2,
+		Phase: PhaseHiddenFallback,
+	}, nil
+}
+
+// phase5 handles the all-light case (Lemma 8): take a face contained in no
+// other; if its outside is small its border separates, otherwise a virtual
+// edge from the root wraps the heavy outside region into a face and the
+// Phase 4 logic runs there.
+func phase5(cfg *weights.Config, fund []int, n int, opt Options) (*Separator, error) {
+	e := pickOutermostAmong(cfg, fund)
+	ec := cfg.Classify(e)
+	// Count the face extent from the interval characterization.
+	insideCnt := len(cfg.InsideNodes(ec))
+	borderCnt := len(cfg.BorderNodes(ec))
+	outside := n - insideCnt - borderCnt
+	if 3*outside <= 2*n {
+		return &Separator{
+			Path:  cfg.Tree.TPath(ec.U, ec.V),
+			EndA:  ec.U,
+			EndB:  ec.V,
+			Phase: PhaseSparse,
+		}, nil
+	}
+	return phase5Virtual(cfg, ec, n, opt)
+}
+
+// pickInnermost returns a candidate edge whose face contains no other
+// candidate's face. Weights are non-decreasing under containment, so the
+// search walks down from a minimum-weight candidate.
+func pickInnermost(cfg *weights.Config, cand []int, w map[int]int) int {
+	sorted := append([]int(nil), cand...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if w[sorted[i]] != w[sorted[j]] {
+			return w[sorted[i]] < w[sorted[j]]
+		}
+		return sorted[i] < sorted[j]
+	})
+	cur := sorted[0]
+	for steps := 0; steps <= len(sorted); steps++ {
+		found := -1
+		ecCur := cfg.Classify(cur)
+		for _, f := range sorted {
+			if f != cur && cfg.EdgeContainedInFace(ecCur, f) {
+				found = f
+				break
+			}
+		}
+		if found < 0 {
+			return cur
+		}
+		cur = found
+	}
+	return cur
+}
+
+// pickOutermostAmong returns a candidate edge whose face is contained in no
+// other candidate's face, walking up the containment order.
+func pickOutermostAmong(cfg *weights.Config, cand []int) int {
+	cur := cand[0]
+	for steps := 0; steps <= len(cand); steps++ {
+		found := -1
+		for _, f := range cand {
+			if f == cur {
+				continue
+			}
+			if cfg.EdgeContainedInFace(cfg.Classify(f), cur) {
+				found = f
+				break
+			}
+		}
+		if found < 0 {
+			return cur
+		}
+		cur = found
+	}
+	return cur
+}
+
+// pathLen returns the number of vertices on the T-path between u and v.
+func pathLen(cfg *weights.Config, u, v int) int {
+	w := cfg.Tree.LCA(u, v)
+	return cfg.Tree.Depth[u] + cfg.Tree.Depth[v] - 2*cfg.Tree.Depth[w] + 1
+}
+
+// deepestOf returns the deepest vertex of the list (-1 when empty); when the
+// list is the inside of a face, the deepest vertex is a tree leaf.
+func deepestOf(cfg *weights.Config, vs []int) int {
+	best := -1
+	for _, v := range vs {
+		if best < 0 || cfg.Tree.Depth[v] > cfg.Tree.Depth[best] {
+			best = v
+		}
+	}
+	return best
+}
+
+// VerifyBalance returns the largest component of g after removing the
+// separator vertices. A valid separator has max component <= 2n/3.
+func VerifyBalance(g *graph.Graph, sep []int) int {
+	removed := make(map[int]bool, len(sep))
+	for _, v := range sep {
+		removed[v] = true
+	}
+	maxComp := 0
+	for _, comp := range g.ComponentsAvoiding(removed) {
+		if len(comp) > maxComp {
+			maxComp = len(comp)
+		}
+	}
+	return maxComp
+}
+
+// IsTPath reports whether the separator path is a contiguous path of the
+// configuration's tree.
+func IsTPath(cfg *weights.Config, sep *Separator) bool {
+	want := cfg.Tree.TPath(sep.EndA, sep.EndB)
+	if len(want) != len(sep.Path) {
+		return false
+	}
+	for i := range want {
+		if want[i] != sep.Path[i] {
+			return false
+		}
+	}
+	return true
+}

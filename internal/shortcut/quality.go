@@ -1,0 +1,135 @@
+package shortcut
+
+import (
+	"planardfs/internal/graph"
+	"planardfs/internal/spanning"
+)
+
+// Quality summarizes a tree-restricted shortcut assignment: for each part
+// P_i, the shortcut H_i is the Steiner tree of P_i inside a global BFS tree
+// (the union of tree paths between part members). Congestion counts how many
+// parts use each tree edge; dilation is the diameter of G[P_i] + H_i.
+// Proposition 2 asserts that planar graphs always admit
+// (Õ(D), Õ(D))-quality shortcuts; this measures the quality of the natural
+// tree-restricted construction.
+type Quality struct {
+	MaxCongestion int // max over tree edges of #parts whose Steiner tree uses it
+	MaxDilation   int // max over parts of hop-diameter of G[P_i] + H_i
+	SumShortcut   int // total shortcut edges over all parts
+}
+
+// MeasureQuality computes the congestion and dilation of the
+// tree-restricted shortcuts of the partition over the BFS tree of g rooted
+// at root.
+func MeasureQuality(g *graph.Graph, root int, part *Partition) (*Quality, error) {
+	tree, err := spanning.BFSTree(g, root)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	// congestion[v] counts parts whose Steiner tree uses the edge
+	// (v, parent(v)).
+	congestion := make([]int, n)
+	q := &Quality{}
+	for i := range part.Parts {
+		steiner := steinerEdges(tree, part.Parts[i])
+		q.SumShortcut += len(steiner)
+		for _, v := range steiner {
+			congestion[v]++
+		}
+		d, err := dilationOf(g, tree, part.Parts[i], steiner)
+		if err != nil {
+			return nil, err
+		}
+		if d > q.MaxDilation {
+			q.MaxDilation = d
+		}
+	}
+	for _, c := range congestion {
+		if c > q.MaxCongestion {
+			q.MaxCongestion = c
+		}
+	}
+	return q, nil
+}
+
+// steinerEdges returns the child endpoints v of the tree edges
+// (v, parent(v)) forming the Steiner tree of the given vertices in tree:
+// a tree edge is used iff the subtree below it contains at least one member
+// but not all members lie below... precisely, an edge is on a path between
+// two members iff the subtree below it contains between 1 and len(members)-1
+// members.
+func steinerEdges(tree *spanning.Tree, members []int) []int {
+	n := tree.N()
+	cnt := make([]int, n)
+	for _, v := range members {
+		cnt[v] = 1
+	}
+	// Accumulate subtree counts bottom-up by decreasing depth.
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		order = append(order, v)
+	}
+	// Counting sort by depth, deepest first.
+	maxD := tree.MaxDepth()
+	buckets := make([][]int, maxD+1)
+	for _, v := range order {
+		buckets[tree.Depth[v]] = append(buckets[tree.Depth[v]], v)
+	}
+	var out []int
+	total := len(members)
+	for d := maxD; d >= 1; d-- {
+		for _, v := range buckets[d] {
+			if cnt[v] >= 1 && cnt[v] < total {
+				out = append(out, v)
+			}
+			cnt[tree.Parent[v]] += cnt[v]
+		}
+	}
+	return out
+}
+
+// dilationOf computes the hop diameter of G[P_i] + H_i: the subgraph
+// induced by the members plus the Steiner tree edges (including their
+// non-member endpoints).
+func dilationOf(g *graph.Graph, tree *spanning.Tree, members []int, steiner []int) (int, error) {
+	isMember := map[int]bool{}
+	for _, v := range members {
+		isMember[v] = true
+	}
+	// Involved vertices: members plus Steiner edge endpoints.
+	idx := map[int]int{}
+	add := func(v int) {
+		if _, ok := idx[v]; !ok {
+			idx[v] = len(idx)
+		}
+	}
+	for _, v := range members {
+		add(v)
+	}
+	for _, v := range steiner {
+		add(v)
+		add(tree.Parent[v])
+	}
+	h := graph.New(len(idx))
+	// Induced member-member edges of G.
+	for _, e := range g.Edges() {
+		if isMember[e.U] && isMember[e.V] {
+			h.MustAddEdge(idx[e.U], idx[e.V])
+		}
+	}
+	// Shortcut (Steiner tree) edges.
+	for _, v := range steiner {
+		iu, iv := idx[v], idx[tree.Parent[v]]
+		if !h.HasEdge(iu, iv) {
+			h.MustAddEdge(iu, iv)
+		}
+	}
+	d := h.Diameter()
+	if d < 0 {
+		// G[P_i] + H_i should always be connected for connected parts; a
+		// large sentinel flags a violation without aborting measurement.
+		d = len(idx)
+	}
+	return d, nil
+}

@@ -1,0 +1,350 @@
+// Package spanning provides rooted spanning trees and the tree machinery
+// used throughout the paper: subtree sizes, ancestor tests, lowest common
+// ancestors, tree paths, re-rooting, and the LEFT/RIGHT DFS orders of a
+// spanning tree with respect to an embedding (Section 3.1.1).
+package spanning
+
+import (
+	"fmt"
+
+	"planardfs/internal/graph"
+)
+
+// Tree is a rooted tree over vertices 0..n-1 given by parent pointers.
+type Tree struct {
+	Root   int
+	Parent []int // Parent[Root] == -1
+	Depth  []int
+	// children[v] lists v's children in parent-array insertion order
+	// (ascending vertex id).
+	children [][]int
+	size     []int
+	// tin/tout give a preorder interval [tin[v], tout[v]) containing exactly
+	// the vertices of the subtree rooted at v (using children order).
+	tin, tout []int
+	// up is the binary-lifting ancestor table: up[k][v] is the 2^k-th
+	// ancestor of v (or root).
+	up [][]int
+}
+
+// NewFromParents builds a tree from a parent array. parent[root] must be -1
+// and every other vertex must reach root by following parents.
+func NewFromParents(root int, parent []int) (*Tree, error) {
+	n := len(parent)
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("spanning: root %d out of range", root)
+	}
+	if parent[root] != -1 {
+		return nil, fmt.Errorf("spanning: parent[root] = %d, want -1", parent[root])
+	}
+	t := &Tree{
+		Root:   root,
+		Parent: append([]int(nil), parent...),
+		Depth:  make([]int, n),
+	}
+	t.children = make([][]int, n)
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		if v == root {
+			continue
+		}
+		if p < 0 || p >= n || p == v {
+			return nil, fmt.Errorf("spanning: invalid parent %d of %d", p, v)
+		}
+		t.children[p] = append(t.children[p], v)
+		indeg[v]++
+	}
+	// Compute depths by BFS from root; detects unreachable vertices/cycles.
+	seen := 1
+	queue := []int{root}
+	visited := make([]bool, n)
+	visited[root] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range t.children[v] {
+			if visited[c] {
+				return nil, fmt.Errorf("spanning: vertex %d visited twice", c)
+			}
+			visited[c] = true
+			t.Depth[c] = t.Depth[v] + 1
+			seen++
+			queue = append(queue, c)
+		}
+	}
+	if seen != n {
+		return nil, fmt.Errorf("spanning: %d of %d vertices reachable from root", seen, n)
+	}
+	t.computeIntervals()
+	return t, nil
+}
+
+// BFSTree returns the BFS spanning tree of g rooted at root. The graph must
+// be connected.
+func BFSTree(g *graph.Graph, root int) (*Tree, error) {
+	res := g.BFS(root)
+	for v, d := range res.Dist {
+		if d < 0 {
+			return nil, fmt.Errorf("spanning: vertex %d unreachable from %d", v, root)
+		}
+	}
+	return NewFromParents(root, res.Parent)
+}
+
+// DeepDFSTree returns a depth-first spanning tree of g rooted at root,
+// visiting neighbours in incident-edge insertion order. Its depth can be
+// Θ(n) even when the graph diameter is small, which is the stress case for
+// the paper's subroutines.
+func DeepDFSTree(g *graph.Graph, root int) (*Tree, error) {
+	n := g.N()
+	parent := make([]int, n)
+	visited := make([]bool, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	// True depth-first traversal: a vertex's parent is fixed when it is
+	// first *visited* (popped), not when discovered, so the resulting tree
+	// has the DFS ancestor/descendant property.
+	type item struct{ v, from int }
+	stack := []item{{root, -1}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[it.v] {
+			continue
+		}
+		visited[it.v] = true
+		parent[it.v] = it.from
+		for i := len(g.IncidentEdges(it.v)) - 1; i >= 0; i-- {
+			id := g.IncidentEdges(it.v)[i]
+			w := g.EdgeByID(id).Other(it.v)
+			if !visited[w] {
+				stack = append(stack, item{w, it.v})
+			}
+		}
+	}
+	for v, p := range parent {
+		if p == -2 {
+			return nil, fmt.Errorf("spanning: vertex %d unreachable from %d", v, root)
+		}
+	}
+	return NewFromParents(root, parent)
+}
+
+func (t *Tree) computeIntervals() {
+	n := len(t.Parent)
+	t.size = make([]int, n)
+	t.tin = make([]int, n)
+	t.tout = make([]int, n)
+	timer := 0
+	// Iterative preorder with post-visit hooks.
+	type frame struct{ v, ci int }
+	stack := []frame{{t.Root, 0}}
+	t.tin[t.Root] = timer
+	timer++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.ci < len(t.children[f.v]) {
+			c := t.children[f.v][f.ci]
+			f.ci++
+			t.tin[c] = timer
+			timer++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		t.tout[f.v] = timer
+		t.size[f.v] = t.tout[f.v] - t.tin[f.v]
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// N returns the number of vertices.
+func (t *Tree) N() int { return len(t.Parent) }
+
+// Children returns v's children (ascending vertex id). The returned slice
+// must not be modified.
+func (t *Tree) Children(v int) []int { return t.children[v] }
+
+// SubtreeSize returns n_T(v), the number of vertices in the subtree T_v.
+func (t *Tree) SubtreeSize(v int) int { return t.size[v] }
+
+// IsAncestor reports whether a is an ancestor of v (every vertex is an
+// ancestor of itself, matching the paper's convention v ∈ T_u).
+func (t *Tree) IsAncestor(a, v int) bool {
+	return t.tin[a] <= t.tin[v] && t.tin[v] < t.tout[a]
+}
+
+func (t *Tree) buildLifting() {
+	if t.up != nil {
+		return
+	}
+	n := len(t.Parent)
+	logN := 1
+	for 1<<logN < n {
+		logN++
+	}
+	t.up = make([][]int, logN+1)
+	t.up[0] = make([]int, n)
+	for v := 0; v < n; v++ {
+		if t.Parent[v] < 0 {
+			t.up[0][v] = v
+		} else {
+			t.up[0][v] = t.Parent[v]
+		}
+	}
+	for k := 1; k <= logN; k++ {
+		t.up[k] = make([]int, n)
+		for v := 0; v < n; v++ {
+			t.up[k][v] = t.up[k-1][t.up[k-1][v]]
+		}
+	}
+}
+
+// Ancestor returns the k-th ancestor of v (the root if k exceeds the depth).
+func (t *Tree) Ancestor(v, k int) int {
+	t.buildLifting()
+	for i := 0; k > 0 && i < len(t.up); i++ {
+		if k&1 == 1 {
+			v = t.up[i][v]
+		}
+		k >>= 1
+	}
+	return v
+}
+
+// LCA returns the lowest common ancestor of u and v.
+func (t *Tree) LCA(u, v int) int {
+	if t.IsAncestor(u, v) {
+		return u
+	}
+	if t.IsAncestor(v, u) {
+		return v
+	}
+	t.buildLifting()
+	for k := len(t.up) - 1; k >= 0; k-- {
+		if !t.IsAncestor(t.up[k][u], v) {
+			u = t.up[k][u]
+		}
+	}
+	return t.Parent[u]
+}
+
+// PathUp returns the path from v up to ancestor a, inclusive on both ends.
+// It panics if a is not an ancestor of v.
+func (t *Tree) PathUp(v, a int) []int {
+	if !t.IsAncestor(a, v) {
+		panic(fmt.Sprintf("spanning: %d is not an ancestor of %d", a, v))
+	}
+	var path []int
+	for x := v; ; x = t.Parent[x] {
+		path = append(path, x)
+		if x == a {
+			break
+		}
+	}
+	return path
+}
+
+// TPath returns the unique tree path from u to v (inclusive).
+func (t *Tree) TPath(u, v int) []int {
+	w := t.LCA(u, v)
+	up := t.PathUp(u, w)   // u .. w
+	down := t.PathUp(v, w) // v .. w
+	for i := len(down) - 2; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up
+}
+
+// FirstOnPath returns the first vertex after u on the tree path from u to v.
+// It panics if u == v.
+func (t *Tree) FirstOnPath(u, v int) int {
+	if u == v {
+		panic("spanning: FirstOnPath with u == v")
+	}
+	if t.IsAncestor(u, v) {
+		// Descend: the child of u that is an ancestor of v.
+		return t.Ancestor(v, t.Depth[v]-t.Depth[u]-1)
+	}
+	return t.Parent[u]
+}
+
+// ReRoot returns a new tree with the same edge set rooted at newRoot
+// (Lemma 19's reference semantics).
+func (t *Tree) ReRoot(newRoot int) *Tree {
+	n := len(t.Parent)
+	parent := make([]int, n)
+	copy(parent, t.Parent)
+	// Reverse the path from newRoot to the old root.
+	prev := -1
+	for x := newRoot; x != -1; {
+		next := parent[x]
+		parent[x] = prev
+		prev = x
+		x = next
+	}
+	nt, err := NewFromParents(newRoot, parent)
+	if err != nil {
+		panic(fmt.Sprintf("spanning: ReRoot produced invalid tree: %v", err))
+	}
+	return nt
+}
+
+// SubtreeRangeVertex returns any vertex v whose subtree size lies in
+// [lo, hi], or -1 if none exists. (Note: a vertex with subtree size in
+// [n/3, 2n/3] need not exist — e.g. a star — which is why the tree case of
+// the separator algorithm falls back to the centroid; see Centroid.)
+func (t *Tree) SubtreeRangeVertex(lo, hi int) int {
+	for v := 0; v < len(t.Parent); v++ {
+		if s := t.size[v]; s >= lo && s <= hi {
+			return v
+		}
+	}
+	return -1
+}
+
+// Centroid returns a vertex whose removal leaves components of size at most
+// n/2: walk from the root towards the heaviest child while some child
+// subtree exceeds n/2. The tree path from the root to the centroid is a
+// separator whose removal leaves components of size <= n/2 (tree case of
+// Lemma 1).
+func (t *Tree) Centroid() int {
+	n := len(t.Parent)
+	v := t.Root
+	for {
+		next := -1
+		for _, c := range t.children[v] {
+			if 2*t.size[c] > n {
+				next = c
+				break
+			}
+		}
+		if next < 0 {
+			return v
+		}
+		v = next
+	}
+}
+
+// Edges returns the n-1 tree edges as vertex pairs (child, parent).
+func (t *Tree) Edges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(t.Parent)-1)
+	for v, p := range t.Parent {
+		if p >= 0 {
+			out = append(out, graph.Edge{U: v, V: p})
+		}
+	}
+	return out
+}
+
+// MaxDepth returns the depth of the deepest vertex.
+func (t *Tree) MaxDepth() int {
+	d := 0
+	for _, x := range t.Depth {
+		if x > d {
+			d = x
+		}
+	}
+	return d
+}

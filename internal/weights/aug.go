@@ -1,0 +1,77 @@
+package weights
+
+// AugWeight computes ω(F^ℓ_{Uz}), the weight of the face obtained by the
+// full augmentation from endpoint U of the fundamental face of ec to a node
+// z strictly inside it (Section 3.1.3, Definition 3). The weight follows
+// Definition 2 applied to the virtual edge {U, z} with the compatible
+// insertion that keeps the T_U-side of the face inside:
+//
+//   - if U is an ancestor of z, the ancestor formula with z's path child z1
+//     and the cone subtrees of U visited before z1 in the case's DFS order;
+//   - otherwise the non-ancestor formula with the full cone p_{F_e}(U).
+//
+// For nodes z that are not (T, F_e)-compatible with U this is the paper's
+// notational extension (the prefix count); it is monotone in the case's DFS
+// order across incomparable inside nodes (Remark 2).
+// The weight uses F̃ semantics uniformly — it counts the strict inside of
+// F^ℓ_{Uz} plus the T-path from U (resp. the LCA) to z — which is what makes
+// Remark 2's leaf equality exact: descending from z to its order-maximal
+// leaf moves the subpath z..leaf from the inside to the border, so only the
+// combined count is invariant. Like Definition 2's case-1 weight, counting
+// some border nodes is harmless for the separator threshold (Lemma 5).
+func (cfg *Config) AugWeight(ec EdgeCase, z int) int {
+	t := cfg.Tree
+	if z != ec.U && t.IsAncestor(ec.U, z) {
+		pi := cfg.Pi(ec)
+		z1 := t.FirstOnPath(ec.U, z)
+		pu := 0
+		for _, c := range cfg.childOrder[ec.U] {
+			if c != z1 && cfg.childInCone(ec, ec.U, c) && pi[c] < pi[z1] {
+				pu += t.SubtreeSize(c)
+			}
+		}
+		// |F̊_{Uz}| + |path(U..z)|, simplified with d(z1) = d(U)+1:
+		// (n_T(z)-1) + p'(U) + (π(z)-π(z1)) - (d(z)-d(z1)) + (d(z)-d(U)+1).
+		return (t.SubtreeSize(z) - 1) + pu + (pi[z] - pi[z1]) + 2
+	}
+	// Non-ancestor: Definition 2 case 1 with p(z) = n_T(z)-1 and the
+	// corrected "+2" (see Weight).
+	return (t.SubtreeSize(z) - 1) + cfg.PFace(ec, ec.U) +
+		cfg.PiL[z] - (cfg.PiL[ec.U] + t.SubtreeSize(ec.U)) + 2
+}
+
+// RightmostLeafIn returns the leaf descendant of z with the highest position
+// in the case's DFS order (Remark 2 items 3-4: it has the same augmentation
+// weight as z).
+func (cfg *Config) RightmostLeafIn(ec EdgeCase, z int) int {
+	pi := cfg.Pi(ec)
+	cur := z
+	for len(cfg.childOrder[cur]) > 0 {
+		cs := cfg.childOrder[cur]
+		best := cs[0]
+		for _, c := range cs[1:] {
+			if pi[c] > pi[best] {
+				best = c
+			}
+		}
+		cur = best
+	}
+	return cur
+}
+
+// InsideNodes lists the nodes strictly inside the fundamental face of ec,
+// computed from orders and cones only (no geometry).
+func (cfg *Config) InsideNodes(ec EdgeCase) []int {
+	var out []int
+	for z := 0; z < cfg.G.N(); z++ {
+		if _, inside := cfg.InFace(ec, z); inside {
+			out = append(out, z)
+		}
+	}
+	return out
+}
+
+// BorderNodes lists the T-path between the case's endpoints.
+func (cfg *Config) BorderNodes(ec EdgeCase) []int {
+	return cfg.Tree.TPath(ec.U, ec.V)
+}

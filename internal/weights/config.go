@@ -1,0 +1,204 @@
+// Package weights implements the paper's fundamental-face machinery over a
+// planar configuration (G, ℰ, T): normalized rotations (parent dart first,
+// root anchored at the outer face), LEFT/RIGHT DFS orders, the deterministic
+// weight formulas of Definition 2 (validated against geometric ground truth
+// by Lemmas 3 and 4), ℰ-left/right orientation of fundamental edges
+// (Definition 1), membership in fundamental faces (Remark 1), full
+// augmentations from a face endpoint (Definition 3, Remark 2), and the
+// hidden-node characterization (Definition 4, Lemma 6).
+package weights
+
+import (
+	"fmt"
+
+	"planardfs/internal/graph"
+	"planardfs/internal/planar"
+	"planardfs/internal/spanning"
+)
+
+// Config is a planar configuration (G, ℰ, T) with precomputed orders.
+type Config struct {
+	G     *graph.Graph
+	Emb   *planar.Embedding
+	Tree  *spanning.Tree
+	Outer int // outer face index w.r.t. Emb.TraceFaces()
+
+	// PiL and PiR are the LEFT and RIGHT DFS orders (0-based).
+	PiL, PiR []int
+	// Interval bounds of subtrees in each order: z in T_v iff
+	// LoL[v] <= PiL[z] <= HiL[v] (same for R).
+	LoL, HiL []int
+	LoR, HiR []int
+
+	faces *planar.Faces
+	// start[v] is the rotation index serving as normalized position 0:
+	// the parent dart for non-roots, an outer-face dart for the root.
+	start []int
+	// childOrder[v] lists v's tree children by ascending normalized
+	// position.
+	childOrder [][]int
+}
+
+// NewConfig builds a planar configuration. The tree root must lie on the
+// outer face (the paper's virtual-root convention).
+func NewConfig(g *graph.Graph, emb *planar.Embedding, outerDart int, tree *spanning.Tree) (*Config, error) {
+	if emb.Graph() != g {
+		return nil, fmt.Errorf("weights: embedding is over a different graph")
+	}
+	if tree.N() != g.N() {
+		return nil, fmt.Errorf("weights: tree over %d vertices, graph has %d", tree.N(), g.N())
+	}
+	if g.M() == 0 {
+		return nil, fmt.Errorf("weights: configuration needs at least one edge")
+	}
+	faces := emb.TraceFaces()
+	outer := faces.FaceOf[outerDart]
+	cfg := &Config{G: g, Emb: emb, Tree: tree, Outer: outer, faces: faces}
+
+	n := g.N()
+	cfg.start = make([]int, n)
+	for v := 0; v < n; v++ {
+		if v == tree.Root {
+			// Anchor the root at an outer-face corner: position 0 is a
+			// dart whose face is the outer face (the corner where the
+			// virtual parent r0 attaches).
+			anchor := -1
+			for _, d := range emb.Rotation(v) {
+				if faces.FaceOf[d] == outer {
+					anchor = emb.Pos(d)
+					break
+				}
+			}
+			if anchor < 0 {
+				return nil, fmt.Errorf("weights: tree root %d is not on the outer face", v)
+			}
+			cfg.start[v] = anchor
+			continue
+		}
+		id, ok := g.EdgeID(v, tree.Parent[v])
+		if !ok {
+			return nil, fmt.Errorf("weights: tree edge {%d,%d} not in graph", v, tree.Parent[v])
+		}
+		cfg.start[v] = emb.Pos(planar.DartFrom(g, id, v))
+	}
+
+	// Children by ascending normalized position.
+	cfg.childOrder = make([][]int, n)
+	isChild := make([]bool, n)
+	for v := 0; v < n; v++ {
+		for _, c := range tree.Children(v) {
+			isChild[c] = true
+		}
+		rot := emb.Rotation(v)
+		deg := len(rot)
+		for i := 0; i < deg; i++ {
+			d := rot[(cfg.start[v]+i)%deg]
+			w := planar.Head(g, d)
+			if isChild[w] && tree.Parent[w] == v {
+				cfg.childOrder[v] = append(cfg.childOrder[v], w)
+			}
+		}
+		for _, c := range tree.Children(v) {
+			isChild[c] = false
+		}
+	}
+
+	cfg.PiL, cfg.PiR = spanning.DFSOrders(tree, cfg.childOrder)
+	cfg.LoL, cfg.HiL = spanning.OrderIntervals(tree, cfg.PiL)
+	cfg.LoR, cfg.HiR = spanning.OrderIntervals(tree, cfg.PiR)
+	return cfg, nil
+}
+
+// RootAnchor returns the dart of the root serving as normalized position 0:
+// a dart on the outer face, at the corner where the paper's virtual root r0
+// conceptually attaches.
+func (cfg *Config) RootAnchor() int {
+	return cfg.Emb.Rotation(cfg.Tree.Root)[cfg.start[cfg.Tree.Root]]
+}
+
+// TPos returns the normalized rotation position of dart d at its tail:
+// the parent dart (or the root anchor) has position 0.
+func (cfg *Config) TPos(d int) int {
+	v := planar.Tail(cfg.G, d)
+	deg := cfg.G.Degree(v)
+	return ((cfg.Emb.Pos(d)-cfg.start[v])%deg + deg) % deg
+}
+
+// TPosOf returns the normalized position of neighbour w in v's rotation.
+func (cfg *Config) TPosOf(v, w int) int {
+	id, ok := cfg.G.EdgeID(v, w)
+	if !ok {
+		panic(fmt.Sprintf("weights: %d and %d are not adjacent", v, w))
+	}
+	return cfg.TPos(planar.DartFrom(cfg.G, id, v))
+}
+
+// ChildOrder returns v's tree children by ascending normalized position.
+func (cfg *Config) ChildOrder(v int) []int { return cfg.childOrder[v] }
+
+// Faces returns the face structure of the embedding.
+func (cfg *Config) Faces() *planar.Faces { return cfg.faces }
+
+// FundamentalEdges returns the IDs of the non-tree edges of G
+// (the T-real fundamental edges).
+func (cfg *Config) FundamentalEdges() []int {
+	onTree := make(map[int]bool, cfg.G.N())
+	for v, p := range cfg.Tree.Parent {
+		if p >= 0 {
+			if id, ok := cfg.G.EdgeID(v, p); ok {
+				onTree[id] = true
+			}
+		}
+	}
+	var out []int
+	for e := 0; e < cfg.G.M(); e++ {
+		if !onTree[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Canonical orients a fundamental edge's endpoints so that PiL[u] < PiL[v].
+func (cfg *Config) Canonical(e int) (u, v int) {
+	ed := cfg.G.EdgeByID(e)
+	u, v = ed.U, ed.V
+	if cfg.PiL[u] > cfg.PiL[v] {
+		u, v = v, u
+	}
+	return u, v
+}
+
+// CycleEdges returns the edge IDs of the cycle formed by the T-path between
+// u and v plus the edge {u,v} (which must exist in G).
+func (cfg *Config) CycleEdges(u, v int) ([]int, error) {
+	id, ok := cfg.G.EdgeID(u, v)
+	if !ok {
+		return nil, fmt.Errorf("weights: {%d,%d} is not an edge", u, v)
+	}
+	path := cfg.Tree.TPath(u, v)
+	edges := []int{id}
+	for i := 0; i+1 < len(path); i++ {
+		pid, ok := cfg.G.EdgeID(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("weights: tree edge {%d,%d} missing", path[i], path[i+1])
+		}
+		edges = append(edges, pid)
+	}
+	return edges, nil
+}
+
+// GroundTruthInside classifies vertices against the fundamental cycle of
+// the real edge {u,v}: it returns the set of strictly-inside vertices and
+// the border (T-path) vertices, using the geometric dual-cut ground truth.
+func (cfg *Config) GroundTruthInside(u, v int) (inside, border []bool, err error) {
+	edges, err := cfg.CycleEdges(u, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	cc, err := cfg.Emb.ClassifyCycle(edges, cfg.Outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cc.InsideVertex, cc.OnCycle, nil
+}

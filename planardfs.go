@@ -1,0 +1,273 @@
+// Package planardfs is a from-scratch Go implementation of
+// "Deterministic Distributed DFS via Cycle Separators in Planar Graphs"
+// (Jauregui, Montealegre, Rapaport — PODC 2025).
+//
+// The package exposes the paper's two headline results over embedded planar
+// graphs:
+//
+//   - Theorem 1: deterministic computation of cycle separators — T-path
+//     separators closed by a real or ℰ-compatible virtual edge, leaving
+//     components of at most 2n/3 vertices — in Õ(D) CONGEST rounds,
+//     partition-parallel (FindCycleSeparator, SeparatorsForPartition).
+//   - Theorem 2: deterministic construction of a DFS tree in Õ(D) CONGEST
+//     rounds (BuildDFSTree).
+//
+// Everything the algorithms depend on is implemented in this module:
+// combinatorial planar embeddings with face tracing and Jordan
+// classification, planar graph generators, rooted spanning-tree machinery
+// with embedding-ordered DFS orders, the deterministic face-weight formulas
+// of Definition 2, a CONGEST-model simulator with message-level programs
+// (BFS, pipelined part-wise aggregation, Awerbuch's DFS baseline), the
+// low-congestion-shortcut cost layer, and a randomized-estimation baseline.
+//
+// Round accounting: algorithms are executed as local computation plus
+// invocations of the paper's communication primitives; CostModel converts a
+// run's primitive tally into simulated rounds, under either the paper's
+// charged Õ(D) shortcut bound (PaperCost) or the measured pipelined
+// O(D + k) bound (PipelinedCost).
+package planardfs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planardfs/internal/congest"
+	"planardfs/internal/dfs"
+	"planardfs/internal/dist"
+	"planardfs/internal/gen"
+	"planardfs/internal/graph"
+	"planardfs/internal/planar"
+	"planardfs/internal/randsep"
+	"planardfs/internal/separator"
+	"planardfs/internal/shortcut"
+	"planardfs/internal/spanning"
+	"planardfs/internal/weights"
+)
+
+// Core re-exported types. Aliases keep the full method sets usable while the
+// implementations live in internal packages.
+type (
+	// Graph is a simple undirected graph with stable edge identifiers.
+	Graph = graph.Graph
+	// Edge is an undirected vertex pair.
+	Edge = graph.Edge
+	// Embedding is a combinatorial planar embedding (clockwise rotation
+	// system).
+	Embedding = planar.Embedding
+	// Instance is an embedded planar graph with a designated outer face.
+	Instance = gen.Instance
+	// Tree is a rooted spanning tree.
+	Tree = spanning.Tree
+	// Config is a planar configuration (G, ℰ, T) with precomputed DFS
+	// orders, ready for weight and separator computations.
+	Config = weights.Config
+	// Separator is a cycle separator (a T-path with closing endpoints).
+	Separator = separator.Separator
+	// SeparatorPhase identifies which case of the algorithm produced a
+	// separator.
+	SeparatorPhase = separator.Phase
+	// Partition is a vertex partition with connected parts.
+	Partition = shortcut.Partition
+	// PartSeparator is a per-part separator result.
+	PartSeparator = separator.PartResult
+	// DFSTree is a partial (or complete) DFS tree grown by the DFS-RULE.
+	DFSTree = dfs.PartialTree
+	// DFSTrace records the phase structure of a DFS construction run.
+	DFSTrace = dfs.Trace
+	// CostModel converts communication primitives into CONGEST rounds.
+	CostModel = shortcut.CostModel
+	// PaperCost charges the deterministic Õ(D) shortcut bound the paper
+	// cites.
+	PaperCost = shortcut.PaperCost
+	// PipelinedCost charges the measured pipelined-aggregation bound
+	// O(D + k).
+	PipelinedCost = shortcut.PipelinedCost
+	// Ops tallies invocations of the communication primitives.
+	Ops = dist.Ops
+	// Network is a CONGEST-model simulator over a graph.
+	Network = congest.Network
+	// NetworkStats aggregates instrumentation of a CONGEST run.
+	NetworkStats = congest.Stats
+)
+
+// Graph generators (all return validated embeddings with an outer face).
+var (
+	// NewGrid returns the w x h grid graph.
+	NewGrid = gen.Grid
+	// NewCycle returns the n-cycle.
+	NewCycle = gen.Cycle
+	// NewWheel returns the wheel with an n-cycle rim.
+	NewWheel = gen.Wheel
+	// NewFan returns the fan graph on n vertices.
+	NewFan = gen.Fan
+	// NewStackedTriangulation returns a random maximal planar graph.
+	NewStackedTriangulation = gen.StackedTriangulation
+	// NewSparsePlanar returns a random connected planar graph.
+	NewSparsePlanar = gen.SparsePlanar
+	// NewPolygonTriangulation returns a random outerplanar triangulation.
+	NewPolygonTriangulation = gen.PolygonTriangulation
+	// NewRandomTree returns a random tree.
+	NewRandomTree = gen.RandomTree
+	// NewPathTree returns the path graph.
+	NewPathTree = gen.PathTree
+	// NewCaterpillar returns a caterpillar tree.
+	NewCaterpillar = gen.Caterpillar
+)
+
+// TreeKind selects the spanning tree used by a configuration.
+type TreeKind int
+
+// Spanning tree kinds.
+const (
+	// TreeBFS uses a breadth-first tree (depth <= D; the common choice).
+	TreeBFS TreeKind = iota + 1
+	// TreeDeepDFS uses a depth-first tree (depth up to Θ(n); the stress
+	// case the paper's subroutines are designed for).
+	TreeDeepDFS
+)
+
+// OuterRoot returns a vertex on the instance's outer face, the natural root
+// for spanning trees (the paper requires the root on the outer face).
+func OuterRoot(in *Instance) int {
+	fs := in.Emb.TraceFaces()
+	return fs.FaceVertices(in.OuterFace())[0]
+}
+
+// NewConfig builds a planar configuration over the instance with a spanning
+// tree of the given kind rooted at root (which must lie on the outer face).
+func NewConfig(in *Instance, kind TreeKind, root int) (*Config, error) {
+	var tr *Tree
+	var err error
+	switch kind {
+	case TreeBFS:
+		tr, err = spanning.BFSTree(in.G, root)
+	case TreeDeepDFS:
+		tr, err = spanning.DeepDFSTree(in.G, root)
+	default:
+		return nil, fmt.Errorf("planardfs: unknown tree kind %d", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return weights.NewConfig(in.G, in.Emb, in.OuterDart, tr)
+}
+
+// FindCycleSeparator computes a cycle separator of the configuration's
+// graph (Theorem 1).
+func FindCycleSeparator(cfg *Config) (*Separator, error) {
+	return separator.Find(cfg)
+}
+
+// SeparatorsForPartition computes a cycle separator of every part's induced
+// subgraph (the partition-parallel form of Theorem 1). Parts must induce
+// connected subgraphs.
+func SeparatorsForPartition(in *Instance, part *Partition) ([]*PartSeparator, error) {
+	if err := part.Validate(in.G); err != nil {
+		return nil, err
+	}
+	return separator.ForPartition(in.Emb, in.OuterDart, part)
+}
+
+// NewPartition builds a Partition from a part-of array (part IDs 0..k-1).
+func NewPartition(partOf []int) (*Partition, error) {
+	return shortcut.NewPartition(partOf)
+}
+
+// SeparatorForSubset computes a cycle separator of the subgraph induced by
+// vs (which must be connected), in original vertex IDs.
+func SeparatorForSubset(in *Instance, vs []int) (*Separator, error) {
+	return separator.ForSubset(in.Emb, in.OuterFace(), vs)
+}
+
+// Decomposition is a recursive separator decomposition tree.
+type Decomposition = separator.Decomposition
+
+// DecompositionNode is one piece of a decomposition tree.
+type DecompositionNode = separator.DecompositionNode
+
+// DecomposeGraph recursively splits the instance with cycle separators
+// until pieces have at most leafSize vertices — the divide-and-conquer
+// skeleton of the classical separator applications. The tree depth is
+// O(log n) by the 2/3 balance.
+func DecomposeGraph(in *Instance, leafSize int) (*Decomposition, error) {
+	return separator.Decompose(in.Emb, in.OuterDart, leafSize)
+}
+
+// VerifySeparatorBalance returns the largest component after removing the
+// separator vertices; a valid separator has max component <= 2n/3.
+func VerifySeparatorBalance(g *Graph, sep []int) int {
+	return separator.VerifyBalance(g, sep)
+}
+
+// BuildDFSTree constructs a DFS tree of the instance rooted at root
+// (Theorem 2), returning the tree and the recursion trace.
+func BuildDFSTree(in *Instance, root int) (*DFSTree, *DFSTrace, error) {
+	return dfs.Build(in.G, in.Emb, in.OuterDart, root)
+}
+
+// VerifyDFSTree checks the DFS property: parent must describe a spanning
+// tree of g rooted at root in which every graph edge connects an
+// ancestor-descendant pair.
+func VerifyDFSTree(g *Graph, root int, parent []int) error {
+	return dfs.IsDFSTree(g, root, parent)
+}
+
+// SeparatorRounds returns the simulated CONGEST round cost of one
+// partition-parallel cycle-separator computation (Theorem 1) on an n-vertex
+// graph under the cost model, with k concurrent parts.
+func SeparatorRounds(n int, cm CostModel, k int) int {
+	return dist.SeparatorOps(n).Rounds(cm, k)
+}
+
+// DFSRounds returns the simulated CONGEST round cost of a DFS construction
+// run with the given trace under the cost model.
+func DFSRounds(n int, tr *DFSTrace, cm CostModel) int {
+	return dist.DFSBuildOps(n, tr.Phases, tr.MaxJoinSubPhases).Rounds(cm, 1)
+}
+
+// AwerbuchRounds returns the round cost of the classical DFS baseline [2].
+func AwerbuchRounds(n int) int { return dist.AwerbuchRounds(n) }
+
+// RunAwerbuchDFS executes Awerbuch's token DFS as a real message-level
+// CONGEST program and returns the resulting DFS parent array and the
+// network statistics.
+func RunAwerbuchDFS(g *Graph, root int) ([]int, NetworkStats, error) {
+	nw := congest.New(g)
+	nodes := congest.NewAwerbuchNodes(nw, root)
+	if _, err := nw.Run(nodes, 10*g.N()+100); err != nil {
+		return nil, NetworkStats{}, err
+	}
+	parent := make([]int, g.N())
+	for v := range parent {
+		parent[v] = nodes[v].(*congest.AwerbuchNode).ParentID
+	}
+	return parent, nw.Stats(), nil
+}
+
+// RunPartwiseSum executes the pipelined part-wise aggregation as a real
+// message-level CONGEST program, summing value per part; it returns the
+// per-vertex results and network statistics.
+func RunPartwiseSum(g *Graph, root int, part *Partition, value []int) ([]int, NetworkStats, error) {
+	res, err := shortcut.RunPA(g, root, part, value, congest.OpSum)
+	if err != nil {
+		return nil, NetworkStats{}, err
+	}
+	return res.Values, res.Stats, nil
+}
+
+// RandomizedSeparator runs the sampling-estimation baseline (Ghaffari-
+// Parter style): it may fail with randsep.ErrNoCandidate or return an
+// unbalanced separator; see experiment E10.
+func RandomizedSeparator(cfg *Config, sampleRate, margin float64, rng *rand.Rand) (*Separator, int, error) {
+	res, err := randsep.Find(cfg, sampleRate, margin, rng)
+	if err != nil {
+		return nil, res.Samples, err
+	}
+	return res.Sep, res.Samples, nil
+}
+
+// BFSLevelSeparator returns the classical Lipton-Tarjan first-step
+// baseline: the median BFS level.
+func BFSLevelSeparator(g *Graph, root int) []int {
+	return separator.BFSLevelSeparator(g, root)
+}

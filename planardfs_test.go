@@ -1,0 +1,177 @@
+package planardfs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPublicSeparatorFlow(t *testing.T) {
+	in, err := NewStackedTriangulation(120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := OuterRoot(in)
+	for _, kind := range []TreeKind{TreeBFS, TreeDeepDFS} {
+		cfg, err := NewConfig(in, kind, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sep, err := FindCycleSeparator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := in.G.N()
+		if maxC := VerifySeparatorBalance(in.G, sep.Path); 3*maxC > 2*n {
+			t.Fatalf("kind %d: unbalanced: %d of %d", kind, maxC, n)
+		}
+	}
+	if _, err := NewConfig(in, TreeKind(99), root); err == nil {
+		t.Fatal("unknown tree kind accepted")
+	}
+}
+
+func TestPublicDFSFlow(t *testing.T) {
+	in, err := NewGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := OuterRoot(in)
+	tree, trace, err := BuildDFSTree(in, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDFSTree(in.G, root, tree.Parent); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Phases == 0 {
+		t.Fatal("empty trace")
+	}
+	// Round accounting: deterministic Õ(D) beats Awerbuch's Θ(n) once n is
+	// large relative to D... at this size just check positivity and
+	// consistency.
+	d := in.G.Diameter()
+	cm := PaperCost{D: d, N: in.G.N()}
+	if DFSRounds(in.G.N(), trace, cm) <= 0 || SeparatorRounds(in.G.N(), cm, 1) <= 0 {
+		t.Fatal("round estimates must be positive")
+	}
+	if AwerbuchRounds(in.G.N()) != 2*(in.G.N()-1)+1 {
+		t.Fatal("Awerbuch bound wrong")
+	}
+}
+
+func TestPublicPartitionFlow(t *testing.T) {
+	in, err := NewGrid(9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partOf := make([]int, in.G.N())
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 9; x++ {
+			partOf[y*9+x] = x / 3
+		}
+	}
+	part, err := NewPartition(partOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := SeparatorsForPartition(in, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parts = %d", len(results))
+	}
+	// Invalid partition rejected.
+	bad := make([]int, in.G.N())
+	for v := range bad {
+		bad[v] = v % 2
+	}
+	if badPart, err := NewPartition(bad); err == nil {
+		if _, err := SeparatorsForPartition(in, badPart); err == nil {
+			t.Fatal("disconnected parts accepted")
+		}
+	}
+}
+
+func TestPublicCongestPrograms(t *testing.T) {
+	in, err := NewGrid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, stats, err := RunAwerbuchDFS(in.G, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDFSTree(in.G, 0, parent); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > AwerbuchRounds(in.G.N())+1 {
+		t.Fatalf("Awerbuch rounds %d exceed bound %d", stats.Rounds, AwerbuchRounds(in.G.N()))
+	}
+
+	partOf := make([]int, in.G.N())
+	value := make([]int, in.G.N())
+	for v := range partOf {
+		partOf[v] = v % 4
+		value[v] = 1
+	}
+	part, err := NewPartition(partOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := RunPartwiseSum(in.G, 0, part, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range res {
+		if r != 9 {
+			t.Fatalf("vertex %d: part sum %d, want 9", v, r)
+		}
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	in, err := NewStackedTriangulation(90, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewConfig(in, TreeBFS, OuterRoot(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if _, samples, err := RandomizedSeparator(cfg, 1.0, 0, rng); err == nil && samples == 0 {
+		t.Fatal("full sample reported zero samples")
+	}
+	lvl := BFSLevelSeparator(in.G, 0)
+	if len(lvl) == 0 {
+		t.Fatal("empty level separator")
+	}
+	if 2*VerifySeparatorBalance(in.G, lvl) > in.G.N() {
+		t.Fatal("level separator unbalanced")
+	}
+}
+
+func TestPublicDecompose(t *testing.T) {
+	in, err := NewStackedTriangulation(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecomposeGraph(in, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Leaves == 0 || d.MaxDepth == 0 {
+		t.Fatalf("trivial decomposition: %+v", d)
+	}
+	seen := 0
+	d.Walk(func(n *DecompositionNode) {
+		seen += len(n.Separator)
+		if len(n.Children) == 0 {
+			seen += len(n.Vertices)
+		}
+	})
+	if seen != in.G.N() {
+		t.Fatalf("decomposition covers %d of %d vertices", seen, in.G.N())
+	}
+}

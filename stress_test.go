@@ -1,0 +1,155 @@
+package planardfs
+
+// Integration stress tests: the full pipeline (generation → configuration →
+// separator → DFS) at larger sizes across all families, with invariants
+// checked end to end. Skipped under -short.
+
+import (
+	"testing"
+
+	"planardfs/internal/gen"
+)
+
+func TestStressSeparatorAllFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, fam := range gen.Families {
+		for _, n := range []int{200, 800} {
+			in, err := gen.ByName(fam, n, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range []TreeKind{TreeBFS, TreeDeepDFS} {
+				cfg, err := NewConfig(in, kind, OuterRoot(in))
+				if err != nil {
+					t.Fatalf("%s/%v: %v", in.Name, kind, err)
+				}
+				sep, err := FindCycleSeparator(cfg)
+				if err != nil {
+					t.Fatalf("%s/%v: %v", in.Name, kind, err)
+				}
+				nn := in.G.N()
+				if maxC := VerifySeparatorBalance(in.G, sep.Path); 3*maxC > 2*nn {
+					t.Fatalf("%s/%v: unbalanced (%d of %d, phase %v)",
+						in.Name, kind, maxC, nn, sep.Phase)
+				}
+			}
+		}
+	}
+}
+
+func TestStressDFSAllFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, fam := range gen.Families {
+		in, err := gen.ByName(fam, 400, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := OuterRoot(in)
+		tree, trace, err := BuildDFSTree(in, root)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if err := VerifyDFSTree(in.G, root, tree.Parent); err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if trace.Phases > 40 {
+			t.Fatalf("%s: %d phases", in.Name, trace.Phases)
+		}
+	}
+}
+
+func TestStressPartitionedSeparators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	in, err := NewGrid(24, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4x3 tiling of connected blocks.
+	partOf := make([]int, in.G.N())
+	for y := 0; y < 18; y++ {
+		for x := 0; x < 24; x++ {
+			partOf[y*24+x] = (y/6)*4 + x/6
+		}
+	}
+	part, err := NewPartition(partOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := SeparatorsForPartition(in, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("parts = %d", len(results))
+	}
+	for _, r := range results {
+		sub, orig, err := in.G.InducedSubgraph(part.Parts[r.Part])
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := map[int]int{}
+		for i, v := range orig {
+			idx[v] = i
+		}
+		local := make([]int, len(r.Sep.Path))
+		for i, v := range r.Sep.Path {
+			local[i] = idx[v]
+		}
+		if maxC := VerifySeparatorBalance(sub, local); 3*maxC > 2*r.SubN {
+			t.Fatalf("part %d unbalanced", r.Part)
+		}
+	}
+}
+
+// TestStressDeterminism runs the separator and DFS twice and demands
+// identical outputs (the paper's algorithms are deterministic; so must the
+// implementation be, including its map usage).
+func TestStressDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	in, err := NewStackedTriangulation(600, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := OuterRoot(in)
+	cfg, err := NewConfig(in, TreeBFS, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := FindCycleSeparator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindCycleSeparator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Phase != b.Phase || len(a.Path) != len(b.Path) {
+		t.Fatal("separator nondeterministic")
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			t.Fatal("separator path nondeterministic")
+		}
+	}
+	t1, _, err := BuildDFSTree(in, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := BuildDFSTree(in, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range t1.Parent {
+		if t1.Parent[v] != t2.Parent[v] {
+			t.Fatal("DFS tree nondeterministic")
+		}
+	}
+}
