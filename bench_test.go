@@ -10,7 +10,10 @@ package planardfs
 import (
 	"testing"
 
+	"planardfs/internal/congest"
 	"planardfs/internal/exp"
+	"planardfs/internal/shortcut"
+	"planardfs/internal/trace"
 )
 
 // benchSizes is the default sweep; benchmarks use the largest feasible
@@ -33,6 +36,14 @@ func BenchmarkE1SeparatorRounds(b *testing.B) {
 			b.ReportMetric(float64(last.PipelinedRounds), "pipelined-rounds")
 			b.ReportMetric(last.NormPaper, "rounds/Dlog4")
 			b.ReportMetric(float64(last.SepLen), "sep-len")
+			// Cross-check the formula-level accounting with the metrics
+			// registry of an instrumented run at the largest size.
+			rec := trace.NewRecorder()
+			if _, err := exp.TraceSeparator(fam, benchSizes[len(benchSizes)-1], 1, rec); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rec.Counter("rounds.charged")), "traced-rounds")
+			b.ReportMetric(float64(rec.Counter("ops.pa")), "traced-pa-ops")
 		})
 	}
 }
@@ -53,6 +64,14 @@ func BenchmarkE2DFSRounds(b *testing.B) {
 			b.ReportMetric(float64(last.PipelinedRounds), "pipelined-rounds")
 			b.ReportMetric(float64(last.AwerbuchMeasured), "awerbuch-rounds")
 			b.ReportMetric(float64(last.Phases), "phases")
+			// Metrics registry of an instrumented DFS run: charged rounds of
+			// the Theorem 2 pipeline plus the simulated baseline rounds.
+			rec := trace.NewRecorder()
+			if _, err := exp.TraceDFS(fam, 1024, 1, rec); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rec.Counter("rounds.charged")), "traced-rounds")
+			b.ReportMetric(float64(rec.Counter("congest.rounds")), "traced-awe-rounds")
 		})
 	}
 }
@@ -182,6 +201,27 @@ func BenchmarkE8PartwiseAggregation(b *testing.B) {
 	b.ReportMetric(float64(last.PipelinedEst), "pipelined-est")
 	b.ReportMetric(float64(last.MaxCongestion), "max-congestion")
 	b.ReportMetric(float64(last.MaxDilation), "max-dilation")
+	// Metrics registry of an instrumented message-level PA run.
+	in, err := NewGrid(32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	partOf := make([]int, in.G.N())
+	value := make([]int, in.G.N())
+	for v := range partOf {
+		partOf[v] = v % 16
+		value[v] = 1
+	}
+	part, err := shortcut.NewPartition(partOf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	if _, err := shortcut.RunPATraced(in.G, 0, part, value, congest.OpSum, rec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rec.Counter("congest.rounds")), "traced-pa-rounds")
+	b.ReportMetric(float64(rec.Gauge("congest.max_edge_congestion")), "traced-max-congestion")
 }
 
 func BenchmarkE9RecursionDepth(b *testing.B) {

@@ -19,6 +19,7 @@ import (
 	"planardfs/internal/gen"
 	"planardfs/internal/shortcut"
 	"planardfs/internal/spanning"
+	"planardfs/internal/trace"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "generator seed")
 	inFile := flag.String("in", "", "load a planargen JSON instance instead")
 	parts := flag.Int("parts", 8, "part count for -program pa / boruvka")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run (load in Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry of the run")
 	flag.Parse()
 
 	var in *gen.Instance
@@ -55,6 +58,11 @@ func run() error {
 	fmt.Printf("graph %s: n=%d m=%d\n", in.Name, g.N(), g.M())
 
 	nw := congest.New(g)
+	var rec *trace.Recorder
+	if *traceOut != "" || *metrics {
+		rec = trace.NewRecorder()
+		nw.Tracer = rec
+	}
 	switch *program {
 	case "bfs":
 		nodes := congest.NewBFSNodes(nw, 0)
@@ -132,7 +140,39 @@ func run() error {
 		return fmt.Errorf("unknown program %q", *program)
 	}
 	st := nw.Stats()
-	fmt.Printf("rounds=%d messages=%d words=%d maxEdgeLoad=%d maxRoundWords=%d\n",
-		st.Rounds, st.Messages, st.Words, st.MaxEdgeLoad, st.MaxRoundWords)
+	fmt.Printf("rounds=%d messages=%d words=%d maxEdgeLoad=%d maxRoundWords=%d maxEdgeCongestion=%d\n",
+		st.Rounds, st.Messages, st.Words, st.MaxEdgeLoad, st.MaxRoundWords, st.MaxEdgeCongestion)
+	if len(st.RoundMessages) > 0 {
+		var peak, peakAt, busy int64
+		for i, m := range st.RoundMessages {
+			if m > peak {
+				peak, peakAt = m, int64(i)
+			}
+			if m > 0 {
+				busy++
+			}
+		}
+		fmt.Printf("per-round messages: mean=%.1f peak=%d (round %d) busy=%d/%d rounds\n",
+			float64(st.Messages)/float64(len(st.RoundMessages)), peak, peakAt, busy, len(st.RoundMessages))
+	}
+	if rec != nil {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := rec.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s\n", *traceOut)
+		}
+		if *metrics {
+			rec.WriteMetrics(os.Stdout)
+		}
+	}
 	return nil
 }

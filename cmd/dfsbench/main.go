@@ -4,6 +4,7 @@
 // Usage:
 //
 //	dfsbench -experiment e2 [-sizes 64,256,1024] [-families grid,stacked]
+//	dfsbench -trace out.json -metrics   # instrumented run, Perfetto-loadable
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"planardfs/internal/exp"
+	"planardfs/internal/trace"
 )
 
 func main() {
@@ -28,6 +30,8 @@ func run() error {
 	sizesFlag := flag.String("sizes", "64,256,1024", "comma-separated vertex counts")
 	famFlag := flag.String("families", strings.Join(exp.DefaultFamilies, ","), "comma-separated families")
 	seed := flag.Int64("seed", 1, "base seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of one instrumented DFS run (load in Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry of the instrumented run")
 	flag.Parse()
 
 	sizes, err := parseInts(*sizesFlag)
@@ -35,6 +39,34 @@ func run() error {
 		return err
 	}
 	fams := strings.Split(*famFlag, ",")
+
+	if *traceOut != "" || *metrics {
+		rec := trace.NewRecorder()
+		sum, err := exp.TraceDFS(fams[0], sizes[len(sizes)-1], *seed, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("traced DFS run: %s n=%d m=%d phases=%d rounds=%d spans=%d layers=%v\n",
+			sum.Family, sum.N, sum.M, sum.DFS.Phases, sum.Rounds, sum.Spans, sum.Layers)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := rec.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s\n", *traceOut)
+		}
+		if *metrics {
+			rec.WriteMetrics(os.Stdout)
+		}
+		return nil
+	}
 
 	switch *experiment {
 	case "e2":

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sepbench -experiment e1 [-sizes 64,256,1024,4096] [-families grid,stacked]
+//	sepbench -trace out.json -metrics   # instrumented separator run
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"planardfs/internal/exp"
+	"planardfs/internal/trace"
 )
 
 func main() {
@@ -29,6 +31,8 @@ func run() error {
 	famFlag := flag.String("families", strings.Join(exp.DefaultFamilies, ","), "comma-separated families")
 	trials := flag.Int("trials", 25, "trials/seeds for statistical experiments")
 	seed := flag.Int64("seed", 1, "base seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of one instrumented separator run (load in Perfetto)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry of the instrumented run")
 	flag.Parse()
 
 	sizes, err := parseInts(*sizesFlag)
@@ -36,6 +40,34 @@ func run() error {
 		return err
 	}
 	fams := strings.Split(*famFlag, ",")
+
+	if *traceOut != "" || *metrics {
+		rec := trace.NewRecorder()
+		sep, err := exp.TraceSeparator(fams[0], sizes[len(sizes)-1], *seed, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("traced separator run: %s n=%d sepLen=%d phase=%s rounds=%d spans=%d\n",
+			fams[0], sizes[len(sizes)-1], len(sep.Path), sep.Phase, rec.Now(), len(rec.Spans()))
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := rec.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s\n", *traceOut)
+		}
+		if *metrics {
+			rec.WriteMetrics(os.Stdout)
+		}
+		return nil
+	}
 
 	switch *experiment {
 	case "e1":

@@ -3,6 +3,7 @@ package congest
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"planardfs/internal/gen"
@@ -312,7 +313,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 			t.Fatalf("node %d: parallel parent %d != sequential %d", v, pPar[v], pSeq[v])
 		}
 	}
-	if sPar != sSeq {
+	if !reflect.DeepEqual(sPar, sSeq) {
 		t.Fatalf("stats diverge: %+v vs %+v", sPar, sSeq)
 	}
 }

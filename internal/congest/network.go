@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"planardfs/internal/graph"
+	"planardfs/internal/trace"
 )
 
 // Message is a CONGEST message: a program-defined kind tag plus up to
@@ -69,6 +70,12 @@ type Stats struct {
 	Words         int64
 	MaxEdgeLoad   int64 // max messages carried by a single edge over the run
 	MaxRoundWords int64 // max words sent network-wide in one round
+	// MaxEdgeCongestion is the most messages a single edge carried in a
+	// single round (at most 2: one per direction under the bandwidth rule).
+	MaxEdgeCongestion int64
+	// RoundMessages[i] is the number of messages delivered in round i; it
+	// feeds the per-round message histogram of the tracing subsystem.
+	RoundMessages []int64
 }
 
 // Network simulates a CONGEST network over a graph.
@@ -79,6 +86,11 @@ type Network struct {
 	MaxWords int
 	// Parallel selects the goroutine-per-chunk round engine.
 	Parallel bool
+	// Tracer receives per-round spans and message/congestion metrics; nil
+	// (or trace.Nop) disables instrumentation at zero cost. The tracer is
+	// only driven from the sequential delivery section of the round loop,
+	// so traces are identical under both engines.
+	Tracer trace.Tracer
 
 	stats Stats
 }
@@ -114,6 +126,16 @@ func (nw *Network) Run(nodes []Node, maxRounds int) (int, error) {
 	}
 	nw.stats = Stats{}
 	edgeLoad := make([]int64, nw.G.M())
+	// Per-round edge loads via epoch stamping: edgeRound[id] names the last
+	// round edge id carried a message, edgeRoundLoad[id] how many it
+	// carried that round.
+	edgeRound := make([]int, nw.G.M())
+	edgeRoundLoad := make([]int64, nw.G.M())
+	for i := range edgeRound {
+		edgeRound[i] = -1
+	}
+	tr := trace.OrNop(nw.Tracer)
+	traced := tr.Enabled()
 
 	// Precompute the receiving port of every edge at each endpoint.
 	portAtU := make([]int, nw.G.M())
@@ -200,7 +222,7 @@ func (nw *Network) Run(nodes []Node, maxRounds int) (int, error) {
 		}
 
 		// Deliver messages.
-		var roundWords int64
+		var roundWords, roundMsgs int64
 		inFlight := false
 		for v := 0; v < n; v++ {
 			inboxes[v] = inboxes[v][:0]
@@ -219,7 +241,16 @@ func (nw *Network) Run(nodes []Node, maxRounds int) (int, error) {
 				words := int64(out.Msg.Words())
 				nw.stats.Words += words
 				roundWords += words
+				roundMsgs++
 				edgeLoad[id]++
+				if edgeRound[id] != round {
+					edgeRound[id] = round
+					edgeRoundLoad[id] = 0
+				}
+				edgeRoundLoad[id]++
+				if edgeRoundLoad[id] > nw.stats.MaxEdgeCongestion {
+					nw.stats.MaxEdgeCongestion = edgeRoundLoad[id]
+				}
 				inFlight = true
 			}
 			outboxes[v] = nil
@@ -227,7 +258,20 @@ func (nw *Network) Run(nodes []Node, maxRounds int) (int, error) {
 		if roundWords > nw.stats.MaxRoundWords {
 			nw.stats.MaxRoundWords = roundWords
 		}
+		nw.stats.RoundMessages = append(nw.stats.RoundMessages, roundMsgs)
 		nw.stats.Rounds = round + 1
+		if traced {
+			sp := tr.StartSpan(trace.LayerNetwork, "round")
+			sp.SetAttr("msgs", roundMsgs)
+			sp.SetAttr("words", roundWords)
+			tr.Advance(1)
+			sp.End()
+			tr.Count("congest.rounds", 1)
+			tr.Count("congest.messages", roundMsgs)
+			tr.Count("congest.words", roundWords)
+			tr.Observe("congest.msgs_per_round", roundMsgs)
+			tr.Sample("congest.msgs_per_round", roundMsgs)
+		}
 
 		if !inFlight {
 			all := true
@@ -246,6 +290,13 @@ func (nw *Network) Run(nodes []Node, maxRounds int) (int, error) {
 		if l > nw.stats.MaxEdgeLoad {
 			nw.stats.MaxEdgeLoad = l
 		}
+	}
+	if traced {
+		for _, l := range edgeLoad {
+			tr.Observe("congest.edge_load", l)
+		}
+		tr.SetGauge("congest.max_edge_congestion", nw.stats.MaxEdgeCongestion)
+		tr.SetGauge("congest.max_edge_load", nw.stats.MaxEdgeLoad)
 	}
 	return nw.stats.Rounds, nil
 }

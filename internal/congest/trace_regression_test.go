@@ -1,0 +1,79 @@
+package congest
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"planardfs/internal/trace"
+)
+
+// TestTraceIdenticalAcrossEngines locks the determinism contract of the
+// tracing subsystem: the parallel (goroutine-per-chunk) and sequential
+// round engines must produce byte-identical trace exports and equal stats
+// on the same seeded workload, because the tracer is only driven from the
+// sequential delivery section of the round loop.
+func TestTraceIdenticalAcrossEngines(t *testing.T) {
+	g := gridGraph(t, 9, 9)
+	run := func(parallel bool) (*trace.Recorder, Stats) {
+		rec := trace.NewRecorder()
+
+		nw := New(g)
+		nw.Parallel = parallel
+		nw.Tracer = rec
+		nodes := NewAwerbuchNodes(nw, 0)
+		if _, err := nw.Run(nodes, 10*g.N()); err != nil {
+			t.Fatal(err)
+		}
+		awe := nw.Stats()
+
+		// A second program on the same recorder: the pipelined PA sum over
+		// a BFS tree, exercising multi-word messages and the per-round
+		// congestion counters.
+		parent := make([]int, g.N())
+		partOf := make([]int, g.N())
+		value := make([]int, g.N())
+		res := g.BFS(0)
+		for v := 0; v < g.N(); v++ {
+			parent[v] = res.Parent[v]
+			partOf[v] = 0
+			value[v] = 1
+		}
+		nw2 := New(g)
+		nw2.Parallel = parallel
+		nw2.Tracer = rec
+		panodes := NewPANodes(nw2, parent, 0, partOf, value, OpSum)
+		if _, err := nw2.Run(panodes, 100*g.N()); err != nil {
+			t.Fatal(err)
+		}
+		return rec, awe
+	}
+
+	recPar, stPar := run(true)
+	recSeq, stSeq := run(false)
+	if !reflect.DeepEqual(stPar, stSeq) {
+		t.Fatalf("stats diverge:\nparallel:   %+v\nsequential: %+v", stPar, stSeq)
+	}
+
+	export := func(rec *trace.Recorder) (jsonl, chrome []byte) {
+		var bj, bc bytes.Buffer
+		if err := rec.WriteJSONL(&bj); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(&bc); err != nil {
+			t.Fatal(err)
+		}
+		return bj.Bytes(), bc.Bytes()
+	}
+	jPar, cPar := export(recPar)
+	jSeq, cSeq := export(recSeq)
+	if !bytes.Equal(jPar, jSeq) {
+		t.Fatal("JSONL trace differs between parallel and sequential engines")
+	}
+	if !bytes.Equal(cPar, cSeq) {
+		t.Fatal("Chrome trace differs between parallel and sequential engines")
+	}
+	if len(recPar.Spans()) == 0 {
+		t.Fatal("trace is empty")
+	}
+}

@@ -4,9 +4,13 @@ import (
 	"fmt"
 	"sort"
 
+	"planardfs/internal/dist"
 	"planardfs/internal/graph"
 	"planardfs/internal/planar"
 	"planardfs/internal/separator"
+	"planardfs/internal/shortcut"
+	"planardfs/internal/spanning"
+	"planardfs/internal/trace"
 )
 
 // Trace records the structure of a DFS-tree construction run, from which
@@ -35,8 +39,31 @@ type Trace struct {
 // every remaining component is computed (Theorem 1) and joined to the
 // partial DFS tree by the DFS-RULE (Lemma 2).
 func Build(g *graph.Graph, emb *planar.Embedding, outerDart, root int) (*PartialTree, *Trace, error) {
+	return BuildTraced(g, emb, outerDart, root, nil)
+}
+
+// BuildTraced is Build with the run recorded on tracer (nil disables
+// tracing): a dfs-layer span per recursion phase, the full separator and
+// lemma span structure of every per-component Theorem 1 call, and a
+// dfs-layer span per JOIN sub-phase, all stamped with the charged round
+// clock under the paper cost model.
+func BuildTraced(g *graph.Graph, emb *planar.Embedding, outerDart, root int, tracer trace.Tracer) (*PartialTree, *Trace, error) {
 	if !g.Connected() {
 		return nil, nil, fmt.Errorf("dfs: graph is not connected")
+	}
+	tracer = trace.OrNop(tracer)
+	var m *dist.Meter
+	var buildSpan trace.Span
+	if tracer.Enabled() {
+		// The cost model charges the BFS depth from the root as the
+		// diameter proxy (depth <= D <= 2·depth).
+		depth := 0
+		if bt, err := spanning.BFSTree(g, root); err == nil {
+			depth = bt.MaxDepth()
+		}
+		m = dist.NewMeter(tracer, shortcut.PaperCost{D: depth, N: g.N()}, 1)
+		buildSpan = tracer.StartSpan(trace.LayerDFS, "dfs.build")
+		defer buildSpan.End()
 	}
 	outerFace := emb.OuterFaceOf(outerDart)
 	pt := NewPartialTree(g.N(), root)
@@ -54,14 +81,24 @@ func Build(g *graph.Graph, emb *planar.Embedding, outerDart, root int) (*Partial
 			}
 		}
 		tr.MaxComponent = append(tr.MaxComponent, maxC)
+		phaseSpan := tracer.StartSpan(trace.LayerDFS, "dfs.phase")
+		phaseSpan.SetAttr("phase", int64(tr.Phases))
+		phaseSpan.SetAttr("components", int64(len(comps)))
+		phaseSpan.SetAttr("max_component", int64(maxC))
+		tracer.SetGauge("dfs.max_component", int64(maxC))
+		tracer.Sample("dfs.max_component", int64(maxC))
 		for _, comp := range comps {
-			sep, err := separator.ForSubset(emb, outerFace, comp)
+			var septr trace.Tracer
+			if tracer.Enabled() {
+				septr = tracer
+			}
+			sep, err := separator.ForSubsetTraced(emb, outerFace, comp, septr)
 			if err != nil {
 				return nil, nil, fmt.Errorf("dfs: phase %d: %w", tr.Phases, err)
 			}
 			tr.SeparatorCalls++
 			tr.SeparatorPhases[sep.Phase]++
-			st, err := JoinSeparator(g, pt, comp, sep.Path)
+			st, err := joinSeparator(g, pt, comp, sep.Path, m)
 			if err != nil {
 				return nil, nil, fmt.Errorf("dfs: phase %d join: %w", tr.Phases, err)
 			}
@@ -70,6 +107,14 @@ func Build(g *graph.Graph, emb *planar.Embedding, outerDart, root int) (*Partial
 				tr.MaxJoinSubPhases = st.SubPhases
 			}
 		}
+		phaseSpan.End()
+	}
+	if tracer.Enabled() {
+		tracer.Count("dfs.phases", int64(tr.Phases))
+		tracer.Count("dfs.separator_calls", int64(tr.SeparatorCalls))
+		tracer.Count("dfs.join_subphases", int64(tr.JoinSubPhases))
+		buildSpan.SetAttr("phases", int64(tr.Phases))
+		buildSpan.SetAttr("separator_calls", int64(tr.SeparatorCalls))
 	}
 	if err := IsDFSTree(g, root, pt.Parent); err != nil {
 		return nil, nil, fmt.Errorf("dfs: output invalid: %w", err)

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 
+	"planardfs/internal/dist"
 	"planardfs/internal/graph"
+	"planardfs/internal/trace"
 )
 
 // JoinStats reports the work of one JOIN-PROBLEM invocation (Lemma 2).
@@ -26,6 +28,14 @@ type JoinStats struct {
 // from there, and the root path holding the most separator vertices is
 // attached.
 func JoinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int) (*JoinStats, error) {
+	return joinSeparator(g, pt, comp, sep, nil)
+}
+
+// joinSeparator is JoinSeparator with per-sub-phase spans on m: each
+// sub-phase charges the Lemma 2 budget (spanning forest, re-root, LCA,
+// the two PA problems of the DFS-RULE, and marking the attached path)
+// and records the remaining separator count.
+func joinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int, m *dist.Meter) (*JoinStats, error) {
 	inComp := make(map[int]bool, len(comp))
 	for _, v := range comp {
 		if pt.Has(v) {
@@ -41,10 +51,26 @@ func JoinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int) (*Joi
 		missing[v] = true
 	}
 	st := &JoinStats{Remaining: []int{len(missing)}}
+	var joinSpan trace.Span
+	if m.On() {
+		joinSpan = m.Start(trace.LayerDFS, "join.problem")
+		joinSpan.SetAttr("component", int64(len(comp)))
+		joinSpan.SetAttr("separator", int64(len(missing)))
+		defer func() {
+			joinSpan.SetAttr("subphases", int64(st.SubPhases))
+			joinSpan.End()
+		}()
+	}
 	for len(missing) > 0 {
 		st.SubPhases++
 		if st.SubPhases > g.N()+2 {
 			return nil, fmt.Errorf("dfs: join did not converge")
+		}
+		var subSpan trace.Span
+		if m.On() {
+			subSpan = m.Start(trace.LayerDFS, "join.subphase")
+			subSpan.SetAttr("subphase", int64(st.SubPhases))
+			subSpan.SetAttr("remaining", int64(len(missing)))
 		}
 		// Components of the not-yet-added part of comp.
 		for _, x := range componentsWithin(g, inComp, pt) {
@@ -71,6 +97,19 @@ func JoinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int) (*Joi
 			}
 		}
 		st.Remaining = append(st.Remaining, cnt)
+		if m.On() {
+			// The Lemma 2 sub-phase budget: every open component runs these
+			// in parallel, so the set is charged once.
+			n := g.N()
+			m.Charge(trace.LayerLemma, "lemma9.spanning-forest", dist.SpanningForestOps(n))
+			m.Charge(trace.LayerLemma, "lemma19.re-root", dist.ReRootOps(n))
+			m.Charge(trace.LayerLemma, "lemma14.lca", dist.LCAOps(n))
+			m.Charge(trace.LayerLemma, "dfs-rule.pa-problems", dist.PAProblemOps().Times(2))
+			m.Charge(trace.LayerLemma, "lemma13.mark-path", dist.MarkPathOps(n))
+			m.Tracer().Observe("join.remaining", int64(cnt))
+			subSpan.SetAttr("absorbed", int64(st.Remaining[st.SubPhases-1]-cnt))
+			subSpan.End()
+		}
 	}
 	return st, nil
 }

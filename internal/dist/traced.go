@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"planardfs/internal/graph"
+	"planardfs/internal/shortcut"
+	"planardfs/internal/spanning"
+	"planardfs/internal/trace"
+	"planardfs/internal/weights"
+)
+
+// Traced variants of the lemma subroutines: each runs the plain
+// implementation and records a lemma-layer span carrying both the measured
+// primitive tally of the run (charged_rounds) and the paper's per-lemma
+// budget under the same cost model (budget_rounds), so a trace shows where
+// an execution sits relative to its proven bound.
+
+// BudgetRounds converts an Ops tally under the meter's cost model (0 on a
+// disabled meter).
+func (m *Meter) BudgetRounds(ops Ops) int64 {
+	if !m.On() {
+		return 0
+	}
+	return int64(ops.Rounds(m.CM, m.K))
+}
+
+// DFSOrderDistributedTraced is DFSOrderDistributed (Lemma 11) with a span.
+func DFSOrderDistributedTraced(t *spanning.Tree, childOrder [][]int, m *Meter) *DFSOrderResult {
+	res := DFSOrderDistributed(t, childOrder)
+	m.Charge(trace.LayerLemma, "lemma11.dfs-order", res.Ops,
+		trace.Attr{Key: "phases", Val: int64(res.Phases)},
+		trace.Attr{Key: "budget_rounds", Val: m.BudgetRounds(DFSOrderOps(t.N()))})
+	return res
+}
+
+// MarkPathDistributedTraced is MarkPathDistributed (Lemma 13) with a span.
+func MarkPathDistributedTraced(t *spanning.Tree, u, v int, m *Meter) *MarkPathResult {
+	res := MarkPathDistributed(t, u, v)
+	m.Charge(trace.LayerLemma, "lemma13.mark-path", res.Ops,
+		trace.Attr{Key: "phases", Val: int64(res.Phases)},
+		trace.Attr{Key: "iterations", Val: int64(res.Iterations)},
+		trace.Attr{Key: "budget_rounds", Val: m.BudgetRounds(MarkPathOps(t.N()))})
+	return res
+}
+
+// LCADistributedTraced is LCADistributed (Lemma 14) with a span.
+func LCADistributedTraced(cfg *weights.Config, u, v int, m *Meter) (*LCAResult, error) {
+	res, err := LCADistributed(cfg, u, v)
+	if err != nil {
+		return nil, err
+	}
+	m.Charge(trace.LayerLemma, "lemma14.lca", res.Ops,
+		trace.Attr{Key: "lca", Val: int64(res.LCA)},
+		trace.Attr{Key: "budget_rounds", Val: m.BudgetRounds(LCAOps(cfg.G.N()))})
+	return res, nil
+}
+
+// ReRootDistributedTraced is ReRootDistributed (Lemma 19) with a span.
+func ReRootDistributedTraced(t *spanning.Tree, newRoot int, m *Meter) (*ReRootResult, error) {
+	res, err := ReRootDistributed(t, newRoot)
+	if err != nil {
+		return nil, err
+	}
+	m.Charge(trace.LayerLemma, "lemma19.re-root", res.Ops,
+		trace.Attr{Key: "budget_rounds", Val: m.BudgetRounds(ReRootOps(t.N()))})
+	return res, nil
+}
+
+// SpanningForestDistributedTraced is SpanningForestDistributed (Lemma 9)
+// with a span.
+func SpanningForestDistributedTraced(g *graph.Graph, part *shortcut.Partition, m *Meter) (*SpanningForestResult, error) {
+	res, err := SpanningForestDistributed(g, part)
+	if err != nil {
+		return nil, err
+	}
+	m.Charge(trace.LayerLemma, "lemma9.spanning-forest", res.Ops,
+		trace.Attr{Key: "phases", Val: int64(res.Phases)},
+		trace.Attr{Key: "budget_rounds", Val: m.BudgetRounds(SpanningForestOps(g.N()))})
+	return res, nil
+}

@@ -6,6 +6,7 @@ import (
 	"planardfs/internal/planar"
 	"planardfs/internal/shortcut"
 	"planardfs/internal/spanning"
+	"planardfs/internal/trace"
 	"planardfs/internal/weights"
 )
 
@@ -39,6 +40,13 @@ func ForPartition(emb *planar.Embedding, outerDart int, part *shortcut.Partition
 // ForSubset computes a cycle separator of the subgraph induced by vs
 // (which must be connected), returned in original vertex IDs.
 func ForSubset(emb *planar.Embedding, outerFace int, vs []int) (*Separator, error) {
+	return ForSubsetTraced(emb, outerFace, vs, nil)
+}
+
+// ForSubsetTraced is ForSubset with the run recorded on tr (nil disables
+// tracing): the restricted configuration carries the tracer, so the whole
+// separator phase structure of the subset lands in the trace.
+func ForSubsetTraced(emb *planar.Embedding, outerFace int, vs []int, tr trace.Tracer) (*Separator, error) {
 	res, err := emb.RestrictTo(vs, outerFace)
 	if err != nil {
 		return nil, err
@@ -61,6 +69,7 @@ func ForSubset(emb *planar.Embedding, outerFace int, vs []int) (*Separator, erro
 	if err != nil {
 		return nil, err
 	}
+	cfg.Tracer = tr
 	sep, err := Find(cfg)
 	if err != nil {
 		return nil, err

@@ -13,7 +13,10 @@ import (
 	"fmt"
 	"sort"
 
+	"planardfs/internal/dist"
 	"planardfs/internal/graph"
+	"planardfs/internal/shortcut"
+	"planardfs/internal/trace"
 	"planardfs/internal/weights"
 )
 
@@ -111,12 +114,52 @@ type Options struct {
 // (components of G - S of size at most 2n/3) is guaranteed by the paper's
 // case analysis and verified exhaustively by the test suite and
 // experiments.
+//
+// When cfg.Tracer is set, the run is recorded: a separator-layer span per
+// driver phase, a lemma-layer span per charged subroutine, and primitive
+// child spans advancing the round clock under the paper cost model.
 func Find(cfg *weights.Config) (*Separator, error) {
 	return FindWithOptions(cfg, Options{})
 }
 
+// meterFor builds the charging meter of a configuration: the paper cost
+// model with the spanning tree's depth standing in for the diameter (the
+// standard BFS-tree bound depth <= D <= 2·depth).
+func meterFor(cfg *weights.Config) *dist.Meter {
+	return dist.NewMeter(cfg.Tracer,
+		shortcut.PaperCost{D: cfg.Tree.MaxDepth(), N: cfg.G.N()}, 1)
+}
+
 // FindWithOptions is Find with ablation toggles.
 func FindWithOptions(cfg *weights.Config, opt Options) (*Separator, error) {
+	m := meterFor(cfg)
+	if !m.On() {
+		return findWithMeter(cfg, opt, nil)
+	}
+	n := cfg.G.N()
+	sp := m.Start(trace.LayerSeparator, "separator.find")
+	defer sp.End()
+	// Precomputation charges (the fixed prefix of the Theorem 1 budget):
+	// the embedding surrogate, per-part spanning forests, DFS orders and
+	// weights, and the part-size aggregation.
+	m.Charge(trace.LayerLemma, "prop1.embedding", dist.Ops{PA: 1})
+	m.Charge(trace.LayerLemma, "lemma9.spanning-forest", dist.SpanningForestOps(n))
+	m.Charge(trace.LayerLemma, "lemma11-12.orders-weights", dist.WeightsOps(n))
+	m.Charge(trace.LayerLemma, "prop5.part-sizes", dist.PAProblemOps())
+	m.Tracer().Observe("separator.part_size", int64(n))
+	sep, err := findWithMeter(cfg, opt, m)
+	if sep != nil {
+		m.Charge(trace.LayerLemma, "lemma13.mark-separator", dist.MarkPathOps(n),
+			trace.Attr{Key: "sep_len", Val: int64(len(sep.Path))})
+		sp.SetAttr("phase", int64(sep.Phase))
+		sp.SetAttr("sep_len", int64(len(sep.Path)))
+		m.Tracer().Observe("separator.sep_len", int64(len(sep.Path)))
+	}
+	return sep, err
+}
+
+// findWithMeter is the Lemma 1 case analysis, recording phase spans on m.
+func findWithMeter(cfg *weights.Config, opt Options, m *dist.Meter) (*Separator, error) {
 	n := cfg.G.N()
 	if n == 1 {
 		return &Separator{Path: []int{0}, EndA: 0, EndB: 0, Phase: PhaseTree}, nil
@@ -124,6 +167,9 @@ func FindWithOptions(cfg *weights.Config, opt Options) (*Separator, error) {
 	fund := cfg.FundamentalEdges()
 	if len(fund) == 0 {
 		// Phase 2: the graph is a tree.
+		sp := m.Start(trace.LayerSeparator, "phase2.tree")
+		m.Charge(trace.LayerLemma, "prop5.centroid", dist.PAProblemOps())
+		sp.End()
 		c := cfg.Tree.Centroid()
 		return &Separator{
 			Path:  cfg.Tree.PathUp(c, cfg.Tree.Root),
@@ -140,6 +186,10 @@ func FindWithOptions(cfg *weights.Config, opt Options) (*Separator, error) {
 	inRange := func(x int) bool { return 3*x >= n && 3*x <= 2*n }
 
 	// Phase 3: a face with weight directly in range.
+	sp3 := m.Start(trace.LayerSeparator, "phase3.weight-scan")
+	m.Charge(trace.LayerLemma, "lemma10.range-queries", dist.PAProblemOps().Times(3),
+		trace.Attr{Key: "faces", Val: int64(len(fund))})
+	sp3.End()
 	for _, e := range fund {
 		if inRange(w[e]) {
 			ec := cfg.Classify(e)
@@ -155,6 +205,9 @@ func FindWithOptions(cfg *weights.Config, opt Options) (*Separator, error) {
 	// Lemma 1, condition 3: a fundamental cycle whose T-path already has at
 	// least n/3 vertices — removing it leaves at most 2n/3 vertices in
 	// total, so it is a separator regardless of face weights.
+	if !opt.DisableLongPath {
+		m.Charge(trace.LayerLemma, "lemma17.long-path-check", dist.NotContainedOps(n))
+	}
 	for _, e := range fund {
 		if opt.DisableLongPath {
 			break
@@ -179,23 +232,28 @@ func FindWithOptions(cfg *weights.Config, opt Options) (*Separator, error) {
 	}
 	if len(heavy) > 0 {
 		e := pickInnermost(cfg, heavy, w)
-		return phase4(cfg, cfg.Classify(e), n, opt)
+		return phase4(cfg, cfg.Classify(e), n, opt, m)
 	}
 
 	// Phase 5: every face is light (< n/3).
-	return phase5(cfg, fund, n, opt)
+	return phase5(cfg, fund, n, opt, m)
 }
 
 // phase4 handles a heavy face containing no other heavy face: the full
 // augmentation from U sweeps the face; either some augmentation weight
 // lands in range (Sub-phase 4.1, with the hidden fallback of Claim 6) or
 // the face border itself separates (Sub-phase 4.2).
-func phase4(cfg *weights.Config, ec weights.EdgeCase, n int, opt Options) (*Separator, error) {
+func phase4(cfg *weights.Config, ec weights.EdgeCase, n int, opt Options, m *dist.Meter) (*Separator, error) {
+	sp := m.Start(trace.LayerSeparator, "phase4.heavy-face")
+	defer sp.End()
+	m.Charge(trace.LayerLemma, "lemma15.detect-face", dist.DetectFaceOps(n))
 	inRange := func(x int) bool { return 3*x >= n && 3*x <= 2*n }
 	inside := cfg.InsideNodes(ec)
 
 	s := -1
 	if !opt.DisableAugmentation {
+		m.Charge(trace.LayerLemma, "lemma10.aug-range-query", dist.PAProblemOps(),
+			trace.Attr{Key: "inside", Val: int64(len(inside))})
 		for _, z := range inside {
 			if inRange(cfg.AugWeight(ec, z)) {
 				s = z
@@ -231,6 +289,7 @@ func phase4(cfg *weights.Config, ec weights.EdgeCase, n int, opt Options) (*Sepa
 
 	var hiding []int
 	if !opt.DisableHiddenFallback {
+		m.Charge(trace.LayerLemma, "lemma16.hidden", dist.HiddenOps(n))
 		hiding = cfg.HidingEdges(ec, s)
 	}
 	if len(hiding) == 0 {
@@ -243,6 +302,8 @@ func phase4(cfg *weights.Config, ec weights.EdgeCase, n int, opt Options) (*Sepa
 	}
 	// Claim 6: pick a hiding edge not contained in any other hiding edge
 	// and close through its far endpoint.
+	m.Charge(trace.LayerLemma, "lemma17.hidden-fallback", dist.NotContainedOps(n),
+		trace.Attr{Key: "hiding", Val: int64(len(hiding))})
 	f := pickOutermostAmong(cfg, hiding)
 	fe := cfg.G.EdgeByID(f)
 	z2 := fe.U
@@ -261,7 +322,10 @@ func phase4(cfg *weights.Config, ec weights.EdgeCase, n int, opt Options) (*Sepa
 // other; if its outside is small its border separates, otherwise a virtual
 // edge from the root wraps the heavy outside region into a face and the
 // Phase 4 logic runs there.
-func phase5(cfg *weights.Config, fund []int, n int, opt Options) (*Separator, error) {
+func phase5(cfg *weights.Config, fund []int, n int, opt Options, m *dist.Meter) (*Separator, error) {
+	sp := m.Start(trace.LayerSeparator, "phase5.all-light")
+	defer sp.End()
+	m.Charge(trace.LayerLemma, "lemma17.outermost-face", dist.NotContainedOps(n))
 	e := pickOutermostAmong(cfg, fund)
 	ec := cfg.Classify(e)
 	// Count the face extent from the interval characterization.
@@ -276,6 +340,9 @@ func phase5(cfg *weights.Config, fund []int, n int, opt Options) (*Separator, er
 			Phase: PhaseSparse,
 		}, nil
 	}
+	// Lemma 8 fallback: a virtual edge wraps the heavy outside region into
+	// a face and the Phase 4 machinery runs inside it.
+	m.Charge(trace.LayerLemma, "lemma8.virtual-edge", dist.HiddenOps(n))
 	return phase5Virtual(cfg, ec, n, opt)
 }
 

@@ -89,7 +89,9 @@ func phase5Virtual(cfg *weights.Config, ec weights.EdgeCase, n int, opt Options)
 				continue
 			}
 			if 3*nw > 2*n {
-				sep, err := phase4(ncfg, nec, n, opt)
+				// Speculative inner runs of the sweep are not charged; the
+				// caller charges the whole fallback once (Lemma 8).
+				sep, err := phase4(ncfg, nec, n, opt, nil)
 				if err != nil {
 					continue
 				}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// attrMap flattens ordered attributes into a JSON object. encoding/json
+// marshals map keys sorted, so the output is deterministic.
+func attrMap(attrs []Attr) map[string]int64 {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]int64, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Val
+	}
+	return m
+}
+
+// jsonlRecord is one line of the JSONL export.
+type jsonlRecord struct {
+	Type   string           `json:"type"`
+	Name   string           `json:"name,omitempty"`
+	ID     *int             `json:"id,omitempty"`
+	Parent *int             `json:"parent,omitempty"`
+	Layer  string           `json:"layer,omitempty"`
+	Start  *int64           `json:"start,omitempty"`
+	End    *int64           `json:"end,omitempty"`
+	Attrs  map[string]int64 `json:"attrs,omitempty"`
+	Value  *int64           `json:"value,omitempty"`
+	Round  *int64           `json:"round,omitempty"`
+	Clock  *int64           `json:"clock,omitempty"`
+	Hist   *Histogram       `json:"hist,omitempty"`
+}
+
+// WriteJSONL writes the full recorded state as one JSON object per line:
+// a meta line, every span (by ID), every counter, gauge and histogram
+// (names sorted), and every time-series point. Output is deterministic for
+// deterministic workloads.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	clock := r.Now()
+	if err := enc.Encode(jsonlRecord{Type: "meta", Clock: &clock}); err != nil {
+		return err
+	}
+	for _, ev := range r.Spans() {
+		ev := ev
+		rec := jsonlRecord{
+			Type: "span", Name: ev.Name, Layer: ev.Layer.String(),
+			ID: &ev.ID, Parent: &ev.Parent,
+			Start: &ev.Start, End: &ev.End,
+			Attrs: attrMap(ev.Attrs),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.CounterNames() {
+		v := r.Counter(name)
+		if err := enc.Encode(jsonlRecord{Type: "counter", Name: name, Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.GaugeNames() {
+		v := r.Gauge(name)
+		if err := enc.Encode(jsonlRecord{Type: "gauge", Name: name, Value: &v}); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.HistogramNames() {
+		if err := enc.Encode(jsonlRecord{Type: "histogram", Name: name, Hist: r.Histogram(name)}); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.SampleNames() {
+		for _, p := range r.Samples(name) {
+			p := p
+			if err := enc.Encode(jsonlRecord{Type: "sample", Name: name, Round: &p.Round, Value: &p.Val}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace_event format. The round
+// clock serves as the microsecond timebase: one simulated round renders as
+// one microsecond, and each algorithm layer renders as one thread.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Ts   int64            `json:"ts"`
+	Dur  *int64           `json:"dur,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeMetaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   int64             `json:"ts"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the recorded spans and time series in the Chrome
+// trace_event format, loadable directly in Perfetto or chrome://tracing.
+// pid is 1; tid is the layer (a thread_name metadata event labels each);
+// ts is the span's start round; dur its round extent. Counter samples
+// render as "C" counter tracks. Output is deterministic.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	var events []json.RawMessage
+	add := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		events = append(events, raw)
+		return nil
+	}
+	for l := Layer(0); l < numLayers; l++ {
+		meta := chromeMetaEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: int(l),
+			Args: map[string]string{"name": l.String()},
+		}
+		if err := add(meta); err != nil {
+			return err
+		}
+	}
+	for _, ev := range r.Spans() {
+		dur := ev.End - ev.Start
+		if dur < 0 {
+			dur = 0
+		}
+		ce := chromeEvent{
+			Name: ev.Name, Ph: "X", Pid: 1, Tid: int(ev.Layer),
+			Ts: ev.Start, Dur: &dur, Args: attrMap(ev.Attrs),
+		}
+		if err := add(ce); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.SampleNames() {
+		for _, p := range r.Samples(name) {
+			ce := chromeEvent{
+				Name: name, Ph: "C", Pid: 1, Tid: 0,
+				Ts: p.Round, Args: map[string]int64{"value": p.Val},
+			}
+			if err := add(ce); err != nil {
+				return err
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

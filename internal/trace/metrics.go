@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultBounds are the histogram bucket upper bounds used when none are
+// given: powers of two from 1 to 2^20, with an overflow bucket above.
+// Everything the stack observes (rounds per invocation, messages per round,
+// per-edge loads, part sizes) is a count whose interesting structure is its
+// order of magnitude, so power-of-two buckets fit every metric.
+var DefaultBounds = func() []int64 {
+	var b []int64
+	for x := int64(1); x <= 1<<20; x *= 2 {
+		b = append(b, x)
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket histogram over int64 observations. Counts[i]
+// tallies observations <= Bounds[i] (and greater than Bounds[i-1]); the
+// final Counts entry is the overflow bucket.
+type Histogram struct {
+	Bounds []int64
+	Counts []int64
+	N      int64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// NewHistogram returns a histogram with the given bucket upper bounds
+// (strictly increasing), or DefaultBounds when nil.
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBounds
+	}
+	return &Histogram{
+		Bounds: append([]int64(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.Bounds) && v > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.N == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.Bounds = append([]int64(nil), h.Bounds...)
+	c.Counts = append([]int64(nil), h.Counts...)
+	return &c
+}
+
+// WriteMetrics writes a human-readable table of every counter, gauge and
+// histogram to w, names sorted, suitable for the -metrics flag of the CLIs.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	if names := r.CounterNames(); len(names) > 0 {
+		fmt.Fprintf(w, "%-40s %14s\n", "counter", "value")
+		for _, name := range names {
+			fmt.Fprintf(w, "%-40s %14d\n", name, r.Counter(name))
+		}
+	}
+	if names := r.GaugeNames(); len(names) > 0 {
+		fmt.Fprintf(w, "%-40s %14s\n", "gauge", "value")
+		for _, name := range names {
+			fmt.Fprintf(w, "%-40s %14d\n", name, r.Gauge(name))
+		}
+	}
+	for _, name := range r.HistogramNames() {
+		h := r.Histogram(name)
+		fmt.Fprintf(w, "histogram %s: n=%d sum=%d min=%d max=%d mean=%.2f\n",
+			name, h.N, h.Sum, h.Min, h.Max, h.Mean())
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(w, "  le %-12d %10d\n", h.Bounds[i], c)
+			} else {
+				fmt.Fprintf(w, "  le %-12s %10d\n", "+inf", c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// SpanEvent is one recorded (closed or still-open) span.
+type SpanEvent struct {
+	// ID is the span's sequential identifier (assigned at StartSpan, so
+	// IDs order spans by start time, ties by start order).
+	ID int
+	// Parent is the ID of the enclosing span, -1 at the top level.
+	Parent int
+	Layer  Layer
+	Name   string
+	// Start and End are round-clock stamps. End is -1 while the span is
+	// open; exporters close open spans at the export-time clock.
+	Start, End int64
+	Attrs      []Attr
+}
+
+// SamplePoint is one point of a recorded time series.
+type SamplePoint struct {
+	Round int64
+	Val   int64
+}
+
+// Recorder implements Tracer by recording everything in memory. A Recorder
+// is safe for concurrent use; recorded state is deterministic for
+// deterministic workloads (sequential IDs, explicit clock, no wall time).
+type Recorder struct {
+	mu       sync.Mutex
+	clock    int64
+	spans    []SpanEvent
+	stack    []int // IDs of open spans, innermost last
+	counters map[string]int64
+	gauges   map[string]int64
+	hists    map[string]*Histogram
+	samples  map[string][]SamplePoint
+}
+
+// NewRecorder returns an empty recorder with the round clock at 0.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		counters: map[string]int64{},
+		gauges:   map[string]int64{},
+		hists:    map[string]*Histogram{},
+		samples:  map[string][]SamplePoint{},
+	}
+}
+
+// Enabled implements Tracer.
+func (r *Recorder) Enabled() bool { return true }
+
+type recorderSpan struct {
+	r  *Recorder
+	id int
+}
+
+// StartSpan implements Tracer.
+func (r *Recorder) StartSpan(layer Layer, name string) Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := len(r.spans)
+	parent := -1
+	if len(r.stack) > 0 {
+		parent = r.stack[len(r.stack)-1]
+	}
+	r.spans = append(r.spans, SpanEvent{
+		ID: id, Parent: parent, Layer: layer, Name: name,
+		Start: r.clock, End: -1,
+	})
+	r.stack = append(r.stack, id)
+	return recorderSpan{r: r, id: id}
+}
+
+func (s recorderSpan) SetAttr(key string, val int64) {
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	ev := &s.r.spans[s.id]
+	ev.Attrs = append(ev.Attrs, Attr{Key: key, Val: val})
+}
+
+func (s recorderSpan) End() {
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	ev := &s.r.spans[s.id]
+	if ev.End < 0 {
+		ev.End = s.r.clock
+	}
+	// Pop the span from the open stack (normally the innermost).
+	for i := len(s.r.stack) - 1; i >= 0; i-- {
+		if s.r.stack[i] == s.id {
+			s.r.stack = append(s.r.stack[:i], s.r.stack[i+1:]...)
+			break
+		}
+	}
+}
+
+// Advance implements Tracer.
+func (r *Recorder) Advance(d int64) {
+	r.mu.Lock()
+	r.clock += d
+	r.mu.Unlock()
+}
+
+// Now implements Tracer.
+func (r *Recorder) Now() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock
+}
+
+// Count implements Tracer.
+func (r *Recorder) Count(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge implements Tracer.
+func (r *Recorder) SetGauge(name string, val int64) {
+	r.mu.Lock()
+	r.gauges[name] = val
+	r.mu.Unlock()
+}
+
+// Observe implements Tracer.
+func (r *Recorder) Observe(name string, val int64) {
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(nil)
+		r.hists[name] = h
+	}
+	h.Observe(val)
+	r.mu.Unlock()
+}
+
+// Sample implements Tracer.
+func (r *Recorder) Sample(name string, val int64) {
+	r.mu.Lock()
+	r.samples[name] = append(r.samples[name], SamplePoint{Round: r.clock, Val: val})
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, open spans closed at the
+// current clock.
+func (r *Recorder) Spans() []SpanEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanEvent, len(r.spans))
+	copy(out, r.spans)
+	for i := range out {
+		if out[i].End < 0 {
+			out[i].End = r.clock
+		}
+	}
+	return out
+}
+
+// Counter returns the current value of the named counter.
+func (r *Recorder) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Gauge returns the current value of the named gauge.
+func (r *Recorder) Gauge(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Histogram returns a snapshot of the named histogram, or nil.
+func (r *Recorder) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		return nil
+	}
+	return h.Clone()
+}
+
+// CounterNames returns the sorted names of all counters.
+func (r *Recorder) CounterNames() []string { return r.sortedKeys(kindCounter) }
+
+// GaugeNames returns the sorted names of all gauges.
+func (r *Recorder) GaugeNames() []string { return r.sortedKeys(kindGauge) }
+
+// HistogramNames returns the sorted names of all histograms.
+func (r *Recorder) HistogramNames() []string { return r.sortedKeys(kindHist) }
+
+// SampleNames returns the sorted names of all time series.
+func (r *Recorder) SampleNames() []string { return r.sortedKeys(kindSample) }
+
+// Samples returns a copy of the named time series.
+func (r *Recorder) Samples(name string) []SamplePoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SamplePoint(nil), r.samples[name]...)
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHist
+	kindSample
+)
+
+func (r *Recorder) sortedKeys(kind metricKind) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	switch kind {
+	case kindCounter:
+		for k := range r.counters {
+			out = append(out, k)
+		}
+	case kindGauge:
+		for k := range r.gauges {
+			out = append(out, k)
+		}
+	case kindHist:
+		for k := range r.hists {
+			out = append(out, k)
+		}
+	case kindSample:
+		for k := range r.samples {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSpanNestingAndClock(t *testing.T) {
+	r := NewRecorder()
+	outer := r.StartSpan(LayerSeparator, "find")
+	r.Advance(3)
+	inner := r.StartSpan(LayerLemma, "mark-path")
+	inner.SetAttr("iterations", 7)
+	r.Advance(5)
+	inner.End()
+	outer.End()
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Parent != -1 || spans[1].Parent != spans[0].ID {
+		t.Fatalf("parentage wrong: %+v", spans)
+	}
+	if spans[0].Start != 0 || spans[0].End != 8 {
+		t.Fatalf("outer span [%d,%d], want [0,8]", spans[0].Start, spans[0].End)
+	}
+	if spans[1].Start != 3 || spans[1].End != 8 {
+		t.Fatalf("inner span [%d,%d], want [3,8]", spans[1].Start, spans[1].End)
+	}
+	if len(spans[1].Attrs) != 1 || spans[1].Attrs[0] != (Attr{"iterations", 7}) {
+		t.Fatalf("attrs = %+v", spans[1].Attrs)
+	}
+	if r.Now() != 8 {
+		t.Fatalf("clock = %d, want 8", r.Now())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	r := NewRecorder()
+	r.Count("msgs", 5)
+	r.Count("msgs", 7)
+	r.SetGauge("depth", 3)
+	r.SetGauge("depth", 4)
+	for _, v := range []int64{1, 2, 3, 100, 5000} {
+		r.Observe("load", v)
+	}
+	if got := r.Counter("msgs"); got != 12 {
+		t.Fatalf("counter = %d, want 12", got)
+	}
+	if got := r.Gauge("depth"); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	h := r.Histogram("load")
+	if h.N != 5 || h.Sum != 5106 || h.Min != 1 || h.Max != 5000 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	var total int64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != h.N {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.N)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{1, 2, 4})
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 2, 2} // <=1: {0,1}; <=2: {2}; <=4: {3,4}; overflow: {5,100}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+}
+
+// workload drives a fixed, seedless sequence of tracer calls.
+func workload(tr Tracer) {
+	root := tr.StartSpan(LayerDFS, "build")
+	for i := 0; i < 3; i++ {
+		s := tr.StartSpan(LayerSeparator, "phase")
+		s.SetAttr("i", int64(i))
+		tr.Advance(int64(i + 1))
+		tr.Count("rounds", int64(i+1))
+		tr.Observe("per-phase", int64(i+1))
+		tr.Sample("clock", tr.Now())
+		s.End()
+	}
+	root.End()
+}
+
+func TestExportsDeterministic(t *testing.T) {
+	var outs [][]byte
+	for run := 0; run < 2; run++ {
+		r := NewRecorder()
+		workload(r)
+		var jsonl, chrome bytes.Buffer
+		if err := r.WriteJSONL(&jsonl); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteChromeTrace(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, jsonl.Bytes(), chrome.Bytes())
+	}
+	if !bytes.Equal(outs[0], outs[2]) {
+		t.Fatal("JSONL export differs between identical runs")
+	}
+	if !bytes.Equal(outs[1], outs[3]) {
+		t.Fatal("Chrome export differs between identical runs")
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	r := NewRecorder()
+	workload(r)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			Ts   int64  `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	metas, completes, counters := 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+		case "X":
+			completes++
+		case "C":
+			counters++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if metas != int(numLayers) {
+		t.Fatalf("metadata events = %d, want %d", metas, int(numLayers))
+	}
+	if completes != 4 {
+		t.Fatalf("complete events = %d, want 4", completes)
+	}
+	if counters != 3 {
+		t.Fatalf("counter events = %d, want 3", counters)
+	}
+}
+
+func TestNopIsSilent(t *testing.T) {
+	workload(Nop) // must not panic
+	if Nop.Enabled() {
+		t.Fatal("Nop reports enabled")
+	}
+	if OrNop(nil) != Nop {
+		t.Fatal("OrNop(nil) != Nop")
+	}
+	r := NewRecorder()
+	if OrNop(r) != Tracer(r) {
+		t.Fatal("OrNop(r) != r")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"planardfs/internal/separator"
 	"planardfs/internal/shortcut"
 	"planardfs/internal/spanning"
+	"planardfs/internal/trace"
 	"planardfs/internal/weights"
 )
 
@@ -88,7 +89,26 @@ type (
 	Network = congest.Network
 	// NetworkStats aggregates instrumentation of a CONGEST run.
 	NetworkStats = congest.Stats
+	// Tracer receives round-stamped spans and metrics from instrumented
+	// runs (see internal/trace).
+	Tracer = trace.Tracer
+	// TraceRecorder is the in-memory Tracer with JSONL and Chrome
+	// trace_event exporters.
+	TraceRecorder = trace.Recorder
+	// TraceSpan is one recorded span.
+	TraceSpan = trace.SpanEvent
+	// TraceHistogram is a fixed-bucket histogram from a recorder.
+	TraceHistogram = trace.Histogram
 )
+
+// NewTraceRecorder returns an empty trace recorder. Pass it wherever a
+// Tracer is accepted (Config.Tracer, Network.Tracer, BuildDFSTreeTraced),
+// then export with WriteJSONL, WriteChromeTrace or WriteMetrics.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// NopTracer is the disabled tracer: every instrumented call site treats it
+// (or a nil Tracer) as "tracing off" and skips all recording work.
+var NopTracer = trace.Nop
 
 // Graph generators (all return validated embeddings with an outer face).
 var (
@@ -203,6 +223,14 @@ func VerifySeparatorBalance(g *Graph, sep []int) int {
 // (Theorem 2), returning the tree and the recursion trace.
 func BuildDFSTree(in *Instance, root int) (*DFSTree, *DFSTrace, error) {
 	return dfs.Build(in.G, in.Emb, in.OuterDart, root)
+}
+
+// BuildDFSTreeTraced is BuildDFSTree with the whole run — DFS phases, join
+// sub-phases, per-component separator computations and their lemma
+// subroutines, and the charged communication primitives — recorded on
+// tracer as round-stamped spans. A nil tracer disables tracing.
+func BuildDFSTreeTraced(in *Instance, root int, tracer Tracer) (*DFSTree, *DFSTrace, error) {
+	return dfs.BuildTraced(in.G, in.Emb, in.OuterDart, root, tracer)
 }
 
 // VerifyDFSTree checks the DFS property: parent must describe a spanning

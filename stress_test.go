@@ -1,21 +1,24 @@
 package planardfs
 
 // Integration stress tests: the full pipeline (generation → configuration →
-// separator → DFS) at larger sizes across all families, with invariants
-// checked end to end. Skipped under -short.
+// separator → DFS) across all families, with invariants checked end to end.
+// The light sizes always run; the heaviest sizes are gated behind
+// testing.Short() so `go test -short ./...` stays fast.
 
 import (
+	"bytes"
 	"testing"
 
 	"planardfs/internal/gen"
 )
 
 func TestStressSeparatorAllFamilies(t *testing.T) {
-	if testing.Short() {
-		t.Skip("stress test")
+	sizes := []int{200}
+	if !testing.Short() {
+		sizes = append(sizes, 800)
 	}
 	for _, fam := range gen.Families {
-		for _, n := range []int{200, 800} {
+		for _, n := range sizes {
 			in, err := gen.ByName(fam, n, 5)
 			if err != nil {
 				t.Fatal(err)
@@ -40,11 +43,12 @@ func TestStressSeparatorAllFamilies(t *testing.T) {
 }
 
 func TestStressDFSAllFamilies(t *testing.T) {
-	if testing.Short() {
-		t.Skip("stress test")
+	n := 150
+	if !testing.Short() {
+		n = 400
 	}
 	for _, fam := range gen.Families {
-		in, err := gen.ByName(fam, 400, 9)
+		in, err := gen.ByName(fam, n, 9)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,9 +67,6 @@ func TestStressDFSAllFamilies(t *testing.T) {
 }
 
 func TestStressPartitionedSeparators(t *testing.T) {
-	if testing.Short() {
-		t.Skip("stress test")
-	}
 	in, err := NewGrid(24, 18)
 	if err != nil {
 		t.Fatal(err)
@@ -111,10 +112,11 @@ func TestStressPartitionedSeparators(t *testing.T) {
 // identical outputs (the paper's algorithms are deterministic; so must the
 // implementation be, including its map usage).
 func TestStressDeterminism(t *testing.T) {
-	if testing.Short() {
-		t.Skip("stress test")
+	n := 200
+	if !testing.Short() {
+		n = 600
 	}
-	in, err := NewStackedTriangulation(600, 21)
+	in, err := NewStackedTriangulation(n, 21)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,5 +153,62 @@ func TestStressDeterminism(t *testing.T) {
 		if t1.Parent[v] != t2.Parent[v] {
 			t.Fatal("DFS tree nondeterministic")
 		}
+	}
+}
+
+// TestStressTracedDeterminism locks the tracing subsystem's reproducibility
+// contract at the facade level: two same-input traced DFS runs must export
+// byte-identical JSONL and Chrome trace files, and tracing must not change
+// the constructed tree.
+func TestStressTracedDeterminism(t *testing.T) {
+	n := 150
+	if !testing.Short() {
+		n = 400
+	}
+	in, err := NewStackedTriangulation(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := OuterRoot(in)
+	plain, _, err := BuildDFSTree(in, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*TraceRecorder, *DFSTree) {
+		rec := NewTraceRecorder()
+		tree, _, err := BuildDFSTreeTraced(in, root, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec, tree
+	}
+	rec1, tree1 := run()
+	rec2, _ := run()
+	for v := range plain.Parent {
+		if plain.Parent[v] != tree1.Parent[v] {
+			t.Fatal("tracing changed the DFS tree")
+		}
+	}
+	var j1, j2, c1, c2 bytes.Buffer
+	if err := rec1.WriteJSONL(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec2.WriteJSONL(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("JSONL exports differ between same-input runs")
+	}
+	if err := rec1.WriteChromeTrace(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec2.WriteChromeTrace(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Fatal("Chrome exports differ between same-input runs")
+	}
+	if len(rec1.Spans()) == 0 {
+		t.Fatal("trace is empty")
 	}
 }
