@@ -1,0 +1,184 @@
+// Command benchjson measures the CONGEST round engine over the standard
+// generator families and emits a machine-readable performance baseline.
+// For each (program, family) pair it records the deterministic round and
+// message counts of the run together with measured wall-clock and allocator
+// numbers from a testing.Benchmark harness, so `benchjson -o
+// BENCH_congest.json` regenerates the committed baseline in one step.
+//
+// Usage:
+//
+//	benchjson -o BENCH_congest.json
+//	benchjson -n 2048 -families grid,stacked -programs bfs,dfs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"planardfs/internal/congest"
+	"planardfs/internal/gen"
+	"planardfs/internal/spanning"
+)
+
+// Entry is one (program, family) measurement. Rounds/messages/words are
+// deterministic properties of the run; the per-op numbers are measured on
+// the machine named by the file header.
+type Entry struct {
+	Program           string  `json:"program"`
+	Family            string  `json:"family"`
+	N                 int     `json:"n"`
+	M                 int     `json:"m"`
+	Rounds            int     `json:"rounds"`
+	Messages          int64   `json:"messages"`
+	Words             int64   `json:"words"`
+	MaxEdgeCongestion int64   `json:"max_edge_congestion"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	BytesPerOp        int64   `json:"bytes_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	RoundsPerSec      float64 `json:"rounds_per_sec"`
+	MessagesPerSec    float64 `json:"messages_per_sec"`
+}
+
+// File is the schema of BENCH_congest.json.
+type File struct {
+	Schema    string  `json:"schema"`
+	Engine    string  `json:"engine"`
+	Workers   int     `json:"workers"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Entries   []Entry `json:"entries"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "", "output file (default stdout)")
+	n := flag.Int("n", 1024, "approximate vertex count per instance")
+	families := flag.String("families", "grid,cylinderish,stacked", "comma-separated generator families")
+	programs := flag.String("programs", "bfs,pa,dfs", "comma-separated programs (bfs,pa,dfs)")
+	seq := flag.Bool("seq", false, "use the sequential reference engine")
+	workers := flag.Int("workers", 0, "worker count for the sharded engine (0 = NumCPU)")
+	flag.Parse()
+
+	file := File{
+		Schema:    "planardfs/bench-congest/v1",
+		Engine:    "parallel",
+		Workers:   *workers,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if *seq {
+		file.Engine = "sequential"
+	}
+	for _, fam := range strings.Split(*families, ",") {
+		for _, prog := range strings.Split(*programs, ",") {
+			e, err := measure(prog, fam, *n, *seq, *workers)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", prog, fam, err)
+			}
+			file.Entries = append(file.Entries, e)
+			fmt.Fprintf(os.Stderr, "%-4s %-12s n=%d rounds=%d msgs=%d %.2fms/op %d allocs/op\n",
+				e.Program, e.Family, e.N, e.Rounds, e.Messages,
+				float64(e.NsPerOp)/1e6, e.AllocsPerOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func measure(program, family string, n int, seq bool, workers int) (Entry, error) {
+	in, err := gen.ByName(family, n, 1)
+	if err != nil {
+		return Entry{}, err
+	}
+	g := in.G
+
+	var build func(nw *congest.Network) []congest.Node
+	var budget int
+	switch program {
+	case "bfs":
+		build = func(nw *congest.Network) []congest.Node { return congest.NewBFSNodes(nw, 0) }
+		budget = 10*g.N() + 100
+	case "pa":
+		tree, err := spanning.BFSTree(g, 0)
+		if err != nil {
+			return Entry{}, err
+		}
+		partOf := make([]int, g.N())
+		value := make([]int, g.N())
+		for v := range partOf {
+			partOf[v] = v % 16
+			value[v] = 1
+		}
+		build = func(nw *congest.Network) []congest.Node {
+			return congest.NewPANodes(nw, tree.Parent, 0, partOf, value, congest.OpSum)
+		}
+		budget = 100*g.N() + 1000
+	case "dfs":
+		build = func(nw *congest.Network) []congest.Node { return congest.NewAwerbuchNodes(nw, 0) }
+		budget = 10 * g.N()
+	default:
+		return Entry{}, fmt.Errorf("unknown program %q", program)
+	}
+
+	var st congest.Stats
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		nw := congest.New(g)
+		nw.Parallel = !seq
+		nw.Workers = workers
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := nw.Run(build(nw), budget); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+		st = nw.Stats()
+	})
+	if benchErr != nil {
+		return Entry{}, benchErr
+	}
+	nsPerOp := res.NsPerOp()
+	e := Entry{
+		Program:           program,
+		Family:            family,
+		N:                 g.N(),
+		M:                 g.M(),
+		Rounds:            st.Rounds,
+		Messages:          st.Messages,
+		Words:             st.Words,
+		MaxEdgeCongestion: st.MaxEdgeCongestion,
+		NsPerOp:           nsPerOp,
+		BytesPerOp:        res.AllocedBytesPerOp(),
+		AllocsPerOp:       res.AllocsPerOp(),
+	}
+	if nsPerOp > 0 {
+		e.RoundsPerSec = float64(st.Rounds) / (float64(nsPerOp) / 1e9)
+		e.MessagesPerSec = float64(st.Messages) / (float64(nsPerOp) / 1e9)
+	}
+	return e, nil
+}

@@ -38,6 +38,8 @@ func run() error {
 	parts := flag.Int("parts", 8, "part count for -program pa / boruvka")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry of the run")
+	seq := flag.Bool("seq", false, "use the sequential reference engine instead of the sharded one")
+	workers := flag.Int("workers", 0, "worker count for the sharded engine (0 = NumCPU)")
 	flag.Parse()
 
 	var in *gen.Instance
@@ -58,6 +60,8 @@ func run() error {
 	fmt.Printf("graph %s: n=%d m=%d\n", in.Name, g.N(), g.M())
 
 	nw := congest.New(g)
+	nw.Parallel = !*seq
+	nw.Workers = *workers
 	var rec *trace.Recorder
 	if *traceOut != "" || *metrics {
 		rec = trace.NewRecorder()

@@ -296,6 +296,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 	run := func(parallel bool) ([]int, Stats) {
 		nw := New(g)
 		nw.Parallel = parallel
+		if parallel {
+			nw.Workers = 4 // real sharding even on a single-CPU host
+		}
 		nodes := NewAwerbuchNodes(nw, 0)
 		if _, err := nw.Run(nodes, 10*g.N()); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,116 @@
+package congest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"planardfs/internal/gen"
+)
+
+// chatterNode is a deterministic pseudo-random traffic generator: each
+// round it sends on a seeded-random subset of its ports with random-sized
+// payloads, then halts after stopRound. Two instances with the same seed
+// behave identically, so runs under different engines are comparable
+// message for message. It records its full inbox history (a deep copy per
+// round, since the engine recycles the recv buffer).
+type chatterNode struct {
+	deg       int
+	state     uint64
+	stopRound int
+	history   [][]Incoming
+}
+
+func (c *chatterNode) Round(round int, recv []Incoming) ([]Outgoing, bool) {
+	rec := make([]Incoming, len(recv))
+	copy(rec, recv)
+	c.history = append(c.history, rec)
+	if round >= c.stopRound {
+		return nil, true
+	}
+	var send []Outgoing
+	for p := 0; p < c.deg; p++ {
+		c.state = c.state*6364136223846793005 + 1442695040888963407
+		r := c.state >> 33
+		if r%3 != 0 {
+			continue
+		}
+		nargs := int(r>>8) % 4 // 0..3 args: at most 4 words, the default cap
+		args := make([]int, nargs)
+		for i := range args {
+			args[i] = int((r >> (16 + 4*i)) & 0xff)
+		}
+		send = append(send, Outgoing{Port: p, Msg: Message{Kind: int(r % 16), Args: args}})
+	}
+	return send, false
+}
+
+// TestEnginesEquivalentRandomized locks the determinism contract across the
+// sequential and sharded-parallel engines: over 20 random planar graphs
+// with pseudo-random traffic, both engines must produce identical Stats
+// (including the RoundMessages histogram and MaxEdgeCongestion) and
+// identical per-node inbox orderings, round by round.
+func TestEnginesEquivalentRandomized(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		family := "sparse"
+		if trial%2 == 1 {
+			family = "stacked"
+		}
+		n := 96 + 13*trial
+		in, err := gen.ByName(family, n, int64(trial+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := in.G
+		run := func(parallel bool, workers int) ([][][]Incoming, Stats, int) {
+			nw := New(g)
+			nw.Parallel = parallel
+			nw.Workers = workers
+			nodes := make([]Node, g.N())
+			for v := range nodes {
+				nodes[v] = &chatterNode{
+					deg:       g.Degree(v),
+					state:     uint64(trial)<<32 | uint64(v)*2654435761 + 1,
+					stopRound: 12,
+				}
+			}
+			rounds, err := nw.Run(nodes, 100)
+			if err != nil {
+				t.Fatalf("trial %d parallel=%v: %v", trial, parallel, err)
+			}
+			hist := make([][][]Incoming, g.N())
+			for v := range nodes {
+				hist[v] = nodes[v].(*chatterNode).history
+			}
+			return hist, nw.Stats(), rounds
+		}
+		// Force real sharding (several workers) regardless of host CPU
+		// count; vary the worker count across trials to vary shard bounds.
+		hPar, sPar, rPar := run(true, 2+trial%6)
+		hSeq, sSeq, rSeq := run(false, 0)
+		if rPar != rSeq {
+			t.Fatalf("trial %d (%s n=%d): rounds %d != %d", trial, family, g.N(), rPar, rSeq)
+		}
+		if !reflect.DeepEqual(sPar, sSeq) {
+			t.Fatalf("trial %d (%s n=%d): stats diverge\nparallel:   %+v\nsequential: %+v",
+				trial, family, g.N(), sPar, sSeq)
+		}
+		if sPar.MaxEdgeCongestion == 0 || len(sPar.RoundMessages) == 0 {
+			t.Fatalf("trial %d: degenerate run, stats %+v", trial, sPar)
+		}
+		for v := range hPar {
+			if !reflect.DeepEqual(hPar[v], hSeq[v]) {
+				t.Fatalf("trial %d (%s n=%d): node %d inbox history diverges:\nparallel:   %v\nsequential: %v",
+					trial, family, g.N(), v, describeHistory(hPar[v]), describeHistory(hSeq[v]))
+			}
+		}
+	}
+}
+
+func describeHistory(h [][]Incoming) string {
+	s := ""
+	for r, recv := range h {
+		s += fmt.Sprintf("r%d:%v ", r, recv)
+	}
+	return s
+}

@@ -3,14 +3,19 @@
 // edges in lockstep rounds.
 //
 // A simulation is deterministic: nodes step in a fixed logical order, and
-// the parallel engine (one goroutine per CPU over fixed vertex chunks with a
-// barrier per round) produces results bit-identical to the sequential
-// engine.
+// the parallel engine (persistent worker goroutines over fixed vertex
+// shards with a barrier per phase) produces results bit-identical to the
+// sequential engine.
 //
 // Bandwidth is enforced: per round, at most one message may cross each edge
 // in each direction, and each message carries at most MaxWords words, a word
 // being ceil(log2 n) bits. Violations abort the run with an error rather
 // than silently under-counting rounds.
+//
+// The round loop is allocation-free in the steady state. All engine state —
+// the epoch-stamped port arrays, the receiver-driven delivery table, the
+// double-buffered inboxes, the per-worker stat shards — is allocated once
+// per Run; see DESIGN.md §8 for the internals.
 package congest
 
 import (
@@ -51,6 +56,9 @@ type Outgoing struct {
 // A halted node's Round is still called (it may be woken by late messages);
 // the network stops when every node reports done in a round with no
 // messages in flight.
+//
+// The recv slice is owned by the engine and recycled across rounds; a node
+// that retains messages beyond the current Round call must copy them.
 type Node interface {
 	Round(round int, recv []Incoming) (send []Outgoing, done bool)
 }
@@ -84,11 +92,16 @@ type Network struct {
 	// MaxWords bounds the size of a single message in words
 	// (1 word = ceil(log2 n) bits). Default 4.
 	MaxWords int
-	// Parallel selects the goroutine-per-chunk round engine.
+	// Parallel selects the sharded round engine (persistent workers, one
+	// vertex shard each, a barrier per phase).
 	Parallel bool
+	// Workers overrides the worker count of the sharded engine; 0 means
+	// runtime.NumCPU(). Results are identical for every worker count, so
+	// this is a performance/testing knob, not a semantic one.
+	Workers int
 	// Tracer receives per-round spans and message/congestion metrics; nil
 	// (or trace.Nop) disables instrumentation at zero cost. The tracer is
-	// only driven from the sequential delivery section of the round loop,
+	// only driven from the sequential merge section of the round loop,
 	// so traces are identical under both engines.
 	Tracer trace.Tracer
 
@@ -101,8 +114,16 @@ func New(g *graph.Graph) *Network {
 	return &Network{G: g, MaxWords: 4, Parallel: true}
 }
 
-// Stats returns instrumentation from the last Run.
-func (nw *Network) Stats() Stats { return nw.stats }
+// Stats returns instrumentation from the last Run. The RoundMessages slice
+// is a defensive copy: mutating the returned slice cannot corrupt — or be
+// corrupted by — the engine's internal histogram.
+func (nw *Network) Stats() Stats {
+	st := nw.stats
+	if st.RoundMessages != nil {
+		st.RoundMessages = append([]int64(nil), st.RoundMessages...)
+	}
+	return st
+}
 
 // Info returns the initial local knowledge of vertex v.
 func (nw *Network) Info(v int) NodeInfo {
@@ -112,154 +133,325 @@ func (nw *Network) Info(v int) NodeInfo {
 // ErrRoundLimit is returned when a run exceeds its round budget.
 var ErrRoundLimit = errors.New("congest: round limit exceeded")
 
+// ErrInvalidRoundLimit is returned when Run is called with a non-positive
+// round budget, before any node steps.
+var ErrInvalidRoundLimit = errors.New("congest: round limit must be positive")
+
 // Run executes the nodes until global termination (all nodes done and no
 // messages in flight) or until maxRounds rounds have elapsed. It returns
-// the number of rounds executed.
+// the number of rounds executed. maxRounds must be positive.
 func (nw *Network) Run(nodes []Node, maxRounds int) (int, error) {
 	n := nw.G.N()
 	if len(nodes) != n {
 		return 0, fmt.Errorf("congest: %d nodes for %d vertices", len(nodes), n)
 	}
+	if maxRounds <= 0 {
+		return 0, fmt.Errorf("%w (got %d)", ErrInvalidRoundLimit, maxRounds)
+	}
+	nw.stats = Stats{}
+	e := newEngine(nw, nodes)
+	defer e.stop()
+	return e.run(maxRounds)
+}
+
+// Engine phases; each round is one step barrier followed by one delivery
+// barrier.
+const (
+	phaseStep = iota
+	phaseDeliver
+)
+
+// delivEntry describes one potential delivery into a receiver: the sender,
+// the sender-side port (whose epoch stamp says whether a message is pending
+// this round), and the receiving port. Entries are laid out per receiver in
+// ascending sender order, so receiver-driven delivery reproduces the
+// sender-major inbox ordering of the sequential scan byte for byte.
+type delivEntry struct {
+	src      int32
+	srcPort  int32
+	recvPort int32
+}
+
+// shardStats accumulates one worker's delivery statistics for one round;
+// shards are merged in worker-index order after the barrier, so totals are
+// deterministic. Padded to a cache line to avoid false sharing.
+type shardStats struct {
+	msgs    int64
+	words   int64
+	maxCong int64
+	_       [5]int64
+}
+
+// engine is the per-Run state of the round loop. Every slice is allocated
+// once here; the steady-state loop allocates nothing (the only amortized
+// growth is the RoundMessages histogram and the inbox capacity ramp-up,
+// both of which stabilise).
+type engine struct {
+	nw       *Network
+	nodes    []Node
+	n        int
+	maxWords int
+
+	// Flat per-(vertex,port) state: port p of vertex v lives at flat index
+	// off[v]+p; off has length n+1, so off[v+1]-off[v] is the degree of v.
+	off       []int
+	portEpoch []int   // last round v sent on the port (-1 = never)
+	portMsg   []int32 // index into outboxes[v] of that round's message
+	portLoad  []int64 // messages delivered into the port over the run
+
+	// deliv[off[w]+k] is the k-th potential delivery into w.
+	deliv []delivEntry
+
+	// Double-buffered inboxes: nodes read inboxCur during the step phase
+	// while delivery fills inboxNxt; the buffers swap at the end of each
+	// round so slice capacity is recycled instead of reallocated.
+	inboxCur [][]Incoming
+	inboxNxt [][]Incoming
+	outboxes [][]Outgoing
+	dones    []bool
+	errs     []error
+
+	round int
+	phase int
+
+	chunk  int
+	shards []shardStats
+	start  []chan struct{} // nil when sequential
+	wg     sync.WaitGroup
+}
+
+func newEngine(nw *Network, nodes []Node) *engine {
+	g := nw.G
+	n := g.N()
 	maxWords := nw.MaxWords
 	if maxWords <= 0 {
 		maxWords = 4
 	}
-	nw.stats = Stats{}
-	edgeLoad := make([]int64, nw.G.M())
-	// Per-round edge loads via epoch stamping: edgeRound[id] names the last
-	// round edge id carried a message, edgeRoundLoad[id] how many it
-	// carried that round.
-	edgeRound := make([]int, nw.G.M())
-	edgeRoundLoad := make([]int64, nw.G.M())
-	for i := range edgeRound {
-		edgeRound[i] = -1
-	}
-	tr := trace.OrNop(nw.Tracer)
-	traced := tr.Enabled()
+	e := &engine{nw: nw, nodes: nodes, n: n, maxWords: maxWords}
 
-	// Precompute the receiving port of every edge at each endpoint.
-	portAtU := make([]int, nw.G.M())
-	portAtV := make([]int, nw.G.M())
+	e.off = make([]int, n+1)
 	for v := 0; v < n; v++ {
-		for p, id := range nw.G.IncidentEdges(v) {
-			if nw.G.EdgeByID(id).U == v {
+		e.off[v+1] = e.off[v] + g.Degree(v)
+	}
+	ports := e.off[n]
+	e.portEpoch = make([]int, ports)
+	for i := range e.portEpoch {
+		e.portEpoch[i] = -1
+	}
+	e.portMsg = make([]int32, ports)
+	e.portLoad = make([]int64, ports)
+
+	// The port index of every edge at each endpoint.
+	portAtU := make([]int, g.M())
+	portAtV := make([]int, g.M())
+	for v := 0; v < n; v++ {
+		for p, id := range g.IncidentEdges(v) {
+			if g.EdgeByID(id).U == v {
 				portAtU[id] = p
 			} else {
 				portAtV[id] = p
 			}
 		}
 	}
-
-	// Port tables: port p of v corresponds to incident edge
-	// G.IncidentEdges(v)[p]; portAt[e] maps the edge to the port index at
-	// each endpoint.
-	inboxes := make([][]Incoming, n)
-	outboxes := make([][]Outgoing, n)
-	dones := make([]bool, n)
-	errs := make([]error, n)
-
-	step := func(round, v int) {
-		send, done := nodes[v].Round(round, inboxes[v])
-		seen := make(map[int]bool, len(send))
-		for _, out := range send {
-			if out.Port < 0 || out.Port >= nw.G.Degree(v) {
-				errs[v] = fmt.Errorf("congest: node %d sent on invalid port %d", v, out.Port)
-				return
+	// Receiver-driven delivery table. Scanning senders in ascending order
+	// lays out each receiver's entries in ascending sender order.
+	e.deliv = make([]delivEntry, ports)
+	cursor := make([]int, n)
+	copy(cursor, e.off[:n])
+	for u := 0; u < n; u++ {
+		for up, id := range g.IncidentEdges(u) {
+			ed := g.EdgeByID(id)
+			w := ed.Other(u)
+			rp := portAtU[id]
+			if ed.U != w {
+				rp = portAtV[id]
 			}
-			if seen[out.Port] {
-				errs[v] = fmt.Errorf("congest: node %d sent two messages on port %d in one round", v, out.Port)
-				return
-			}
-			seen[out.Port] = true
-			if out.Msg.Words() > maxWords {
-				errs[v] = fmt.Errorf("congest: node %d message of %d words exceeds limit %d", v, out.Msg.Words(), maxWords)
-				return
-			}
+			e.deliv[cursor[w]] = delivEntry{src: int32(u), srcPort: int32(up), recvPort: int32(rp)}
+			cursor[w]++
 		}
-		outboxes[v] = send
-		dones[v] = done
 	}
 
-	workers := runtime.NumCPU()
+	e.inboxCur = make([][]Incoming, n)
+	e.inboxNxt = make([][]Incoming, n)
+	e.outboxes = make([][]Outgoing, n)
+	e.dones = make([]bool, n)
+	e.errs = make([]error, n)
+
+	workers := nw.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if !nw.Parallel || workers > n {
 		workers = 1
 	}
-
-	for round := 0; ; round++ {
-		if round >= maxRounds {
-			return round, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
+	e.chunk = 1
+	if workers > 1 {
+		e.chunk = (n + workers - 1) / workers
+		workers = (n + e.chunk - 1) / e.chunk
+	}
+	e.shards = make([]shardStats, workers)
+	if workers > 1 {
+		e.start = make([]chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			e.start[w] = make(chan struct{})
+			go e.workerLoop(w)
 		}
-		// Step all nodes.
-		if workers == 1 {
-			for v := 0; v < n; v++ {
-				step(round, v)
+	}
+	return e
+}
+
+// stop shuts down the persistent workers (a no-op for the sequential
+// engine).
+func (e *engine) stop() {
+	for _, c := range e.start {
+		close(c)
+	}
+}
+
+// workerLoop runs one persistent worker over a fixed vertex shard. The
+// coordinator writes e.phase and e.round before signalling, so the channel
+// receive orders those writes before the phase body.
+func (e *engine) workerLoop(w int) {
+	lo := w * e.chunk
+	hi := lo + e.chunk
+	if hi > e.n {
+		hi = e.n
+	}
+	for range e.start[w] {
+		if e.phase == phaseStep {
+			for v := lo; v < hi; v++ {
+				e.step(v)
 			}
 		} else {
-			var wg sync.WaitGroup
-			chunk := (n + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo, hi := w*chunk, (w+1)*chunk
-				if hi > n {
-					hi = n
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					for v := lo; v < hi; v++ {
-						step(round, v)
-					}
-				}(lo, hi)
-			}
-			wg.Wait()
+			e.deliver(&e.shards[w], lo, hi)
 		}
-		for v := 0; v < n; v++ {
-			if errs[v] != nil {
-				return round, errs[v]
-			}
-		}
+		e.wg.Done()
+	}
+}
 
-		// Deliver messages.
-		var roundWords, roundMsgs int64
-		inFlight := false
-		for v := 0; v < n; v++ {
-			inboxes[v] = inboxes[v][:0]
-		}
-		for v := 0; v < n; v++ {
-			for _, out := range outboxes[v] {
-				id := nw.G.IncidentEdges(v)[out.Port]
-				w := nw.G.EdgeByID(id).Other(v)
-				// The receiving port at w.
-				rp := portAtU[id]
-				if w != nw.G.EdgeByID(id).U {
-					rp = portAtV[id]
-				}
-				inboxes[w] = append(inboxes[w], Incoming{Port: rp, Msg: out.Msg})
-				nw.stats.Messages++
-				words := int64(out.Msg.Words())
-				nw.stats.Words += words
-				roundWords += words
-				roundMsgs++
-				edgeLoad[id]++
-				if edgeRound[id] != round {
-					edgeRound[id] = round
-					edgeRoundLoad[id] = 0
-				}
-				edgeRoundLoad[id]++
-				if edgeRoundLoad[id] > nw.stats.MaxEdgeCongestion {
-					nw.stats.MaxEdgeCongestion = edgeRoundLoad[id]
-				}
-				inFlight = true
+func (e *engine) runPhase(ph int) {
+	if e.start == nil {
+		if ph == phaseStep {
+			for v := 0; v < e.n; v++ {
+				e.step(v)
 			}
-			outboxes[v] = nil
+		} else {
+			e.deliver(&e.shards[0], 0, e.n)
+		}
+		return
+	}
+	e.phase = ph
+	e.wg.Add(len(e.start))
+	for _, c := range e.start {
+		c <- struct{}{}
+	}
+	e.wg.Wait()
+}
+
+// step advances one node and validates its sends. A valid send stamps the
+// sender-side port with the current round and records the outbox index, so
+// delivery can find pending messages without touching edge tables.
+func (e *engine) step(v int) {
+	send, done := e.nodes[v].Round(e.round, e.inboxCur[v])
+	base := e.off[v]
+	deg := e.off[v+1] - base
+	for i, out := range send {
+		if out.Port < 0 || out.Port >= deg {
+			e.errs[v] = fmt.Errorf("congest: node %d sent on invalid port %d", v, out.Port)
+			return
+		}
+		fp := base + out.Port
+		if e.portEpoch[fp] == e.round {
+			e.errs[v] = fmt.Errorf("congest: node %d sent two messages on port %d in one round", v, out.Port)
+			return
+		}
+		if out.Msg.Words() > e.maxWords {
+			e.errs[v] = fmt.Errorf("congest: node %d message of %d words exceeds limit %d", v, out.Msg.Words(), e.maxWords)
+			return
+		}
+		e.portEpoch[fp] = e.round
+		e.portMsg[fp] = int32(i)
+	}
+	e.outboxes[v] = send
+	e.dones[v] = done
+}
+
+// deliver routes pending messages into the receivers [lo,hi). It only
+// reads state written before the phase barrier (epoch stamps, outboxes)
+// and only writes receiver-owned state (inboxNxt, portLoad) plus its own
+// shard, so shards never contend.
+//
+// Per-round edge congestion needs no per-edge bookkeeping: an edge carries
+// two messages in a round exactly when the receiver of one direction also
+// sent on the same port, which is one epoch-stamp comparison.
+func (e *engine) deliver(ws *shardStats, lo, hi int) {
+	ws.msgs, ws.words, ws.maxCong = 0, 0, 0
+	round := e.round
+	for w := lo; w < hi; w++ {
+		base := e.off[w]
+		deg := e.off[w+1] - base
+		inb := e.inboxNxt[w][:0]
+		for k := 0; k < deg; k++ {
+			d := e.deliv[base+k]
+			sf := e.off[d.src] + int(d.srcPort)
+			if e.portEpoch[sf] != round {
+				continue
+			}
+			msg := e.outboxes[d.src][e.portMsg[sf]].Msg
+			rp := int(d.recvPort)
+			inb = append(inb, Incoming{Port: rp, Msg: msg})
+			ws.msgs++
+			ws.words += int64(msg.Words())
+			e.portLoad[base+rp]++
+			if e.portEpoch[base+rp] == round {
+				ws.maxCong = 2
+			} else if ws.maxCong < 1 {
+				ws.maxCong = 1
+			}
+		}
+		e.inboxNxt[w] = inb
+	}
+}
+
+func (e *engine) run(maxRounds int) (int, error) {
+	nw := e.nw
+	tr := trace.OrNop(nw.Tracer)
+	traced := tr.Enabled()
+
+	for e.round = 0; ; e.round++ {
+		if e.round >= maxRounds {
+			return e.round, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
+		}
+		e.runPhase(phaseStep)
+		for v := 0; v < e.n; v++ {
+			if e.errs[v] != nil {
+				return e.round, e.errs[v]
+			}
+		}
+		e.runPhase(phaseDeliver)
+
+		// Merge worker shards in index order: the totals are sums and
+		// maxima of per-worker accumulators over disjoint receiver ranges,
+		// so they equal the sequential engine's byte for byte.
+		var roundMsgs, roundWords, roundCong int64
+		for i := range e.shards {
+			s := &e.shards[i]
+			roundMsgs += s.msgs
+			roundWords += s.words
+			if s.maxCong > roundCong {
+				roundCong = s.maxCong
+			}
+		}
+		nw.stats.Messages += roundMsgs
+		nw.stats.Words += roundWords
+		if roundCong > nw.stats.MaxEdgeCongestion {
+			nw.stats.MaxEdgeCongestion = roundCong
 		}
 		if roundWords > nw.stats.MaxRoundWords {
 			nw.stats.MaxRoundWords = roundWords
 		}
 		nw.stats.RoundMessages = append(nw.stats.RoundMessages, roundMsgs)
-		nw.stats.Rounds = round + 1
+		nw.stats.Rounds = e.round + 1
 		if traced {
 			sp := tr.StartSpan(trace.LayerNetwork, "round")
 			sp.SetAttr("msgs", roundMsgs)
@@ -273,10 +465,12 @@ func (nw *Network) Run(nodes []Node, maxRounds int) (int, error) {
 			tr.Sample("congest.msgs_per_round", roundMsgs)
 		}
 
-		if !inFlight {
+		e.inboxCur, e.inboxNxt = e.inboxNxt, e.inboxCur
+
+		if roundMsgs == 0 {
 			all := true
-			for v := 0; v < n; v++ {
-				if !dones[v] {
+			for v := 0; v < e.n; v++ {
+				if !e.dones[v] {
 					all = false
 					break
 				}
@@ -284,6 +478,16 @@ func (nw *Network) Run(nodes []Node, maxRounds int) (int, error) {
 			if all {
 				break
 			}
+		}
+	}
+
+	// Fold the per-port delivery counts into per-edge loads (each edge is
+	// the sum of its two directions).
+	g := nw.G
+	edgeLoad := make([]int64, g.M())
+	for v := 0; v < e.n; v++ {
+		for p, id := range g.IncidentEdges(v) {
+			edgeLoad[id] += e.portLoad[e.off[v]+p]
 		}
 	}
 	for _, l := range edgeLoad {

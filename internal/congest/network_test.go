@@ -1,6 +1,8 @@
 package congest
 
 import (
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -42,6 +44,78 @@ func TestRunNodeCountMismatch(t *testing.T) {
 	nw := New(g)
 	if _, err := nw.Run([]Node{&silentNode{}}, 10); err == nil {
 		t.Fatal("wrong node count accepted")
+	}
+}
+
+// Regression: Stats must return a defensive copy of RoundMessages, so a
+// caller mutating the returned slice cannot corrupt the engine's histogram.
+func TestStatsDefensiveCopy(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	nw := New(g)
+	if _, err := nw.Run(NewBFSNodes(nw, 0), 1000); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	if len(st.RoundMessages) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	want := append([]int64(nil), st.RoundMessages...)
+	for i := range st.RoundMessages {
+		st.RoundMessages[i] = -999
+	}
+	got := nw.Stats().RoundMessages
+	if len(got) != len(want) {
+		t.Fatalf("histogram length changed: %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("round %d: internal histogram corrupted via returned slice (%d != %d)", i, got[i], want[i])
+		}
+	}
+}
+
+// Regression: a non-positive round budget must be rejected up front with a
+// distinct error, not reported as a round-limit overrun of a run that never
+// stepped a node.
+func TestInvalidRoundLimit(t *testing.T) {
+	g := gridGraph(t, 2, 2)
+	nw := New(g)
+	nodes := make([]Node, g.N())
+	for i := range nodes {
+		nodes[i] = &silentNode{}
+	}
+	for _, bad := range []int{0, -1, -100} {
+		_, err := nw.Run(nodes, bad)
+		if !errors.Is(err, ErrInvalidRoundLimit) {
+			t.Fatalf("Run(nodes, %d) = %v, want ErrInvalidRoundLimit", bad, err)
+		}
+		if errors.Is(err, ErrRoundLimit) {
+			t.Fatalf("Run(nodes, %d) reported a round-limit overrun: %v", bad, err)
+		}
+	}
+}
+
+// Regression for the epoch-stamped duplicate-port detection: two sends on
+// one port in one round must be rejected under both engines, including on a
+// graph large enough that the parallel path actually shards.
+func TestDuplicatePortRejectedBothEngines(t *testing.T) {
+	g := gridGraph(t, 16, 16) // large enough for the sharded engine on any CPU count
+	for _, parallel := range []bool{false, true} {
+		nodes := make([]Node, g.N())
+		for i := range nodes {
+			nodes[i] = &silentNode{}
+		}
+		nodes[0] = &doubleSender{}
+		nw := New(g)
+		nw.Parallel = parallel
+		nw.Workers = 4 // force real sharding regardless of host CPU count
+		_, err := nw.Run(nodes, 10)
+		if err == nil {
+			t.Fatalf("parallel=%v: two messages on one port in one round accepted", parallel)
+		}
+		if !strings.Contains(err.Error(), "two messages on port") {
+			t.Fatalf("parallel=%v: wrong error: %v", parallel, err)
+		}
 	}
 }
 

@@ -20,6 +20,9 @@ func TestTraceIdenticalAcrossEngines(t *testing.T) {
 
 		nw := New(g)
 		nw.Parallel = parallel
+		if parallel {
+			nw.Workers = 4 // real sharding even on a single-CPU host
+		}
 		nw.Tracer = rec
 		nodes := NewAwerbuchNodes(nw, 0)
 		if _, err := nw.Run(nodes, 10*g.N()); err != nil {
@@ -41,6 +44,9 @@ func TestTraceIdenticalAcrossEngines(t *testing.T) {
 		}
 		nw2 := New(g)
 		nw2.Parallel = parallel
+		if parallel {
+			nw2.Workers = 4
+		}
 		nw2.Tracer = rec
 		panodes := NewPANodes(nw2, parent, 0, partOf, value, OpSum)
 		if _, err := nw2.Run(panodes, 100*g.N()); err != nil {
