@@ -5,10 +5,17 @@
 // numbers from a testing.Benchmark harness, so `benchjson -o
 // BENCH_congest.json` regenerates the committed baseline in one step.
 //
+// With -cert the command instead measures the certification layer
+// (internal/cert): for each (scheme, family) pair it proves and verifies a
+// correct output and records label width, charged prover rounds, measured
+// verifier rounds and the verification message volume, so `benchjson -cert
+// -o BENCH_cert.json` regenerates that baseline.
+//
 // Usage:
 //
 //	benchjson -o BENCH_congest.json
 //	benchjson -n 2048 -families grid,stacked -programs bfs,dfs
+//	benchjson -cert -o BENCH_cert.json
 package main
 
 import (
@@ -20,9 +27,12 @@ import (
 	"strings"
 	"testing"
 
+	"planardfs/internal/cert"
 	"planardfs/internal/congest"
 	"planardfs/internal/gen"
+	"planardfs/internal/separator"
 	"planardfs/internal/spanning"
+	"planardfs/internal/weights"
 )
 
 // Entry is one (program, family) measurement. Rounds/messages/words are
@@ -70,7 +80,12 @@ func run() error {
 	programs := flag.String("programs", "bfs,pa,dfs", "comma-separated programs (bfs,pa,dfs)")
 	seq := flag.Bool("seq", false, "use the sequential reference engine")
 	workers := flag.Int("workers", 0, "worker count for the sharded engine (0 = NumCPU)")
+	certMode := flag.Bool("cert", false, "benchmark the certification layer instead of the round engine")
 	flag.Parse()
+
+	if *certMode {
+		return runCert(*out, *n, *families, *seq, *workers)
+	}
 
 	file := File{
 		Schema:    "planardfs/bench-congest/v1",
@@ -181,4 +196,158 @@ func measure(program, family string, n int, seq bool, workers int) (Entry, error
 		e.MessagesPerSec = float64(st.Messages) / (float64(nsPerOp) / 1e9)
 	}
 	return e, nil
+}
+
+// CertEntry is one (scheme, family) certification measurement. Label width
+// and round counts are deterministic properties of the scheme; ns/alloc
+// numbers are measured on the machine named by the file header.
+type CertEntry struct {
+	Scheme         string `json:"scheme"`
+	Family         string `json:"family"`
+	N              int    `json:"n"`
+	M              int    `json:"m"`
+	LabelWords     int    `json:"label_words"`
+	ProverRounds   int    `json:"prover_rounds"`
+	VerifierRounds int    `json:"verifier_rounds"`
+	AggRounds      int    `json:"agg_rounds"`
+	Messages       int64  `json:"messages"`
+	Words          int64  `json:"words"`
+	NsPerOp        int64  `json:"ns_per_op"`
+	BytesPerOp     int64  `json:"bytes_per_op"`
+	AllocsPerOp    int64  `json:"allocs_per_op"`
+}
+
+// CertFile is the schema of BENCH_cert.json.
+type CertFile struct {
+	Schema    string      `json:"schema"`
+	Engine    string      `json:"engine"`
+	Workers   int         `json:"workers"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Entries   []CertEntry `json:"entries"`
+}
+
+var certSchemes = []string{"spanning", "dfs", "separator", "embedding"}
+
+func runCert(out string, n int, families string, seq bool, workers int) error {
+	file := CertFile{
+		Schema:    "planardfs/bench-cert/v1",
+		Engine:    "parallel",
+		Workers:   workers,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if seq {
+		file.Engine = "sequential"
+	}
+	for _, fam := range strings.Split(families, ",") {
+		for _, scheme := range certSchemes {
+			e, err := measureCert(scheme, fam, n, seq, workers)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", scheme, fam, err)
+			}
+			file.Entries = append(file.Entries, e)
+			fmt.Fprintf(os.Stderr, "%-10s %-12s n=%d words=%d verify=%d agg=%d %.2fms/op %d allocs/op\n",
+				e.Scheme, e.Family, e.N, e.LabelWords, e.VerifierRounds, e.AggRounds,
+				float64(e.NsPerOp)/1e6, e.AllocsPerOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// measureCert prepares one correct output for the scheme and benchmarks the
+// full prove-and-verify certification of it.
+func measureCert(scheme, family string, n int, seq bool, workers int) (CertEntry, error) {
+	in, err := gen.ByName(family, n, 1)
+	if err != nil {
+		return CertEntry{}, err
+	}
+	g := in.G
+	opt := cert.Options{Sequential: seq, Workers: workers}
+
+	var certify func() (*cert.Verdict, error)
+	switch scheme {
+	case "spanning":
+		tree, err := spanning.BFSTree(g, 0)
+		if err != nil {
+			return CertEntry{}, err
+		}
+		certify = func() (*cert.Verdict, error) { return cert.CertifySpanningTree(g, tree, opt) }
+	case "dfs":
+		tree, err := spanning.DeepDFSTree(g, 0)
+		if err != nil {
+			return CertEntry{}, err
+		}
+		certify = func() (*cert.Verdict, error) { return cert.CertifyDFSTree(g, 0, tree.Parent, opt) }
+	case "separator":
+		fs := in.Emb.TraceFaces()
+		root := fs.FaceVertices(in.OuterFace())[0]
+		tree, err := spanning.BFSTree(g, root)
+		if err != nil {
+			return CertEntry{}, err
+		}
+		cfg, err := weights.NewConfig(g, in.Emb, in.OuterDart, tree)
+		if err != nil {
+			return CertEntry{}, err
+		}
+		sep, err := separator.Find(cfg)
+		if err != nil {
+			return CertEntry{}, err
+		}
+		certify = func() (*cert.Verdict, error) { return cert.CertifySeparator(g, sep, opt) }
+	case "embedding":
+		certify = func() (*cert.Verdict, error) { return cert.CertifyEmbedding(in.Emb, opt) }
+	default:
+		return CertEntry{}, fmt.Errorf("unknown scheme %q", scheme)
+	}
+
+	var verdict *cert.Verdict
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := certify()
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			if !v.OK {
+				benchErr = fmt.Errorf("correct output rejected at %v", v.Rejectors)
+				b.Fatal(benchErr)
+			}
+			verdict = v
+		}
+	})
+	if benchErr != nil {
+		return CertEntry{}, benchErr
+	}
+	return CertEntry{
+		Scheme:         scheme,
+		Family:         family,
+		N:              g.N(),
+		M:              g.M(),
+		LabelWords:     verdict.LabelWords,
+		ProverRounds:   verdict.ProverRounds,
+		VerifierRounds: verdict.VerifierRounds,
+		AggRounds:      verdict.AggRounds,
+		Messages:       verdict.Stats.Messages,
+		Words:          verdict.Stats.Words,
+		NsPerOp:        res.NsPerOp(),
+		BytesPerOp:     res.AllocedBytesPerOp(),
+		AllocsPerOp:    res.AllocsPerOp(),
+	}, nil
 }

@@ -7,6 +7,16 @@
 //	congestsim -program awerbuch -family grid -n 400
 //	congestsim -program pa -parts 16 -in graph.json
 //	congestsim -program boruvka -family stacked -n 500
+//	congestsim -program bfs -seq                  # sequential reference engine
+//	congestsim -program awerbuch -workers 4       # sharded engine, fixed workers
+//	congestsim -program awerbuch -certify         # self-check the output tree
+//	congestsim -trace out.json -metrics           # Perfetto trace + metrics dump
+//
+// -seq selects the sequential reference engine; -workers pins the shard
+// count of the parallel engine (0 = NumCPU). -trace writes a Chrome
+// trace_event file of the run and -metrics prints the counter registry.
+// -certify runs the distributed certification verifier on the program
+// output (bfs and awerbuch) and reports the verdict.
 package main
 
 import (
@@ -14,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"planardfs/internal/cert"
 	"planardfs/internal/congest"
 	"planardfs/internal/dfs"
 	"planardfs/internal/gen"
@@ -40,6 +51,7 @@ func run() error {
 	metrics := flag.Bool("metrics", false, "print the metrics registry of the run")
 	seq := flag.Bool("seq", false, "use the sequential reference engine instead of the sharded one")
 	workers := flag.Int("workers", 0, "worker count for the sharded engine (0 = NumCPU)")
+	certify := flag.Bool("certify", false, "run the distributed certification verifier on the program output")
 	flag.Parse()
 
 	var in *gen.Instance
@@ -67,6 +79,10 @@ func run() error {
 		rec = trace.NewRecorder()
 		nw.Tracer = rec
 	}
+	copt := cert.Options{Sequential: *seq, Workers: *workers}
+	if rec != nil {
+		copt.Tracer = rec
+	}
 	switch *program {
 	case "bfs":
 		nodes := congest.NewBFSNodes(nw, 0)
@@ -80,6 +96,21 @@ func run() error {
 			}
 		}
 		fmt.Printf("BFS: eccentricity %d\n", ecc)
+		if *certify {
+			parent := make([]int, g.N())
+			for v := range parent {
+				parent[v] = nodes[v].(*congest.BFSNode).ParentID
+			}
+			tree, err := spanning.NewFromParents(0, parent)
+			if err != nil {
+				return fmt.Errorf("BFS output is not a tree: %w", err)
+			}
+			v, err := cert.CertifySpanningTree(g, tree, copt)
+			if err != nil {
+				return err
+			}
+			printVerdict(v)
+		}
 	case "awerbuch":
 		nodes := congest.NewAwerbuchNodes(nw, 0)
 		if _, err := nw.Run(nodes, 10*g.N()+100); err != nil {
@@ -93,6 +124,13 @@ func run() error {
 			return fmt.Errorf("output not a DFS tree: %w", err)
 		}
 		fmt.Println("Awerbuch DFS: output verified")
+		if *certify {
+			v, err := cert.CertifyDFSTree(g, 0, parent, copt)
+			if err != nil {
+				return err
+			}
+			printVerdict(v)
+		}
 	case "pa":
 		partOf := make([]int, g.N())
 		value := make([]int, g.N())
@@ -113,6 +151,9 @@ func run() error {
 			return err
 		}
 		fmt.Printf("part-wise sum over %d parts: done\n", part.K())
+		if *certify {
+			fmt.Println("certify: no certification scheme for program pa (tree outputs only)")
+		}
 	case "boruvka":
 		partOf := make([]int, g.N())
 		res := g.BFS(0)
@@ -140,6 +181,9 @@ func run() error {
 			}
 		}
 		fmt.Printf("Borůvka forest: %d edges (double-counted)\n", edges)
+		if *certify {
+			fmt.Println("certify: no certification scheme for program boruvka (tree outputs only)")
+		}
 	default:
 		return fmt.Errorf("unknown program %q", *program)
 	}
@@ -179,4 +223,14 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// printVerdict reports one certification verdict on stdout.
+func printVerdict(v *cert.Verdict) {
+	status := "ACCEPT"
+	if !v.OK {
+		status = fmt.Sprintf("REJECT at %v", v.Rejectors)
+	}
+	fmt.Printf("certify %s: %s labelWords=%d proverRounds=%d verifierRounds=%d aggRounds=%d msgs=%d\n",
+		v.Scheme, status, v.LabelWords, v.ProverRounds, v.VerifierRounds, v.AggRounds, v.Stats.Messages)
 }

@@ -5,6 +5,7 @@
 //
 //	dfsbench -experiment e2 [-sizes 64,256,1024] [-families grid,stacked]
 //	dfsbench -trace out.json -metrics   # instrumented run, Perfetto-loadable
+//	dfsbench -certify                   # self-check one DFS run end to end
 package main
 
 import (
@@ -14,7 +15,10 @@ import (
 	"strconv"
 	"strings"
 
+	"planardfs/internal/cert"
+	"planardfs/internal/dfs"
 	"planardfs/internal/exp"
+	"planardfs/internal/gen"
 	"planardfs/internal/trace"
 )
 
@@ -32,6 +36,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "base seed")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of one instrumented DFS run (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry of the instrumented run")
+	certify := flag.Bool("certify", false, "run the Theorem 2 DFS on one instance and certify its output (embedding + DFS tree)")
 	flag.Parse()
 
 	sizes, err := parseInts(*sizesFlag)
@@ -39,6 +44,10 @@ func run() error {
 		return err
 	}
 	fams := strings.Split(*famFlag, ",")
+
+	if *certify {
+		return certifyRun(fams[0], sizes[len(sizes)-1], *seed)
+	}
 
 	if *traceOut != "" || *metrics {
 		rec := trace.NewRecorder()
@@ -145,6 +154,47 @@ func run() error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return nil
+}
+
+// certifyRun builds the Theorem 2 DFS tree on one generated instance and
+// runs the distributed certification verifiers on the embedding and the
+// resulting tree, printing one verdict line per scheme.
+func certifyRun(family string, n int, seed int64) error {
+	in, err := gen.ByName(family, n, seed)
+	if err != nil {
+		return err
+	}
+	fs := in.Emb.TraceFaces()
+	root := fs.FaceVertices(in.OuterFace())[0]
+	pt, _, err := dfs.Build(in.G, in.Emb, in.OuterDart, root)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("certifying DFS run: %s n=%d m=%d root=%d\n", in.Name, in.G.N(), in.G.M(), root)
+	ev, err := cert.CertifyEmbedding(in.Emb, cert.Options{})
+	if err != nil {
+		return err
+	}
+	printVerdict(ev)
+	dv, err := cert.CertifyDFSTree(in.G, root, pt.Parent, cert.Options{})
+	if err != nil {
+		return err
+	}
+	printVerdict(dv)
+	if !ev.OK || !dv.OK {
+		return fmt.Errorf("certification rejected the run")
+	}
+	return nil
+}
+
+// printVerdict reports one certification verdict on stdout.
+func printVerdict(v *cert.Verdict) {
+	status := "ACCEPT"
+	if !v.OK {
+		status = fmt.Sprintf("REJECT at %v", v.Rejectors)
+	}
+	fmt.Printf("certify %s: %s labelWords=%d proverRounds=%d verifierRounds=%d aggRounds=%d msgs=%d\n",
+		v.Scheme, status, v.LabelWords, v.ProverRounds, v.VerifierRounds, v.AggRounds, v.Stats.Messages)
 }
 
 func parseInts(s string) ([]int, error) {

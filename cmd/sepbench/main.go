@@ -5,6 +5,7 @@
 //
 //	sepbench -experiment e1 [-sizes 64,256,1024,4096] [-families grid,stacked]
 //	sepbench -trace out.json -metrics   # instrumented separator run
+//	sepbench -certify                   # self-check one separator run
 package main
 
 import (
@@ -14,8 +15,13 @@ import (
 	"strconv"
 	"strings"
 
+	"planardfs/internal/cert"
 	"planardfs/internal/exp"
+	"planardfs/internal/gen"
+	"planardfs/internal/separator"
+	"planardfs/internal/spanning"
 	"planardfs/internal/trace"
+	"planardfs/internal/weights"
 )
 
 func main() {
@@ -33,6 +39,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "base seed")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of one instrumented separator run (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry of the instrumented run")
+	certify := flag.Bool("certify", false, "run the Theorem 1 separator on one instance and certify its output (tree + embedding + separator)")
 	flag.Parse()
 
 	sizes, err := parseInts(*sizesFlag)
@@ -40,6 +47,10 @@ func run() error {
 		return err
 	}
 	fams := strings.Split(*famFlag, ",")
+
+	if *certify {
+		return certifyRun(fams[0], sizes[len(sizes)-1], *seed)
+	}
 
 	if *traceOut != "" || *metrics {
 		rec := trace.NewRecorder()
@@ -160,6 +171,67 @@ func run() error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return nil
+}
+
+// certifyRun finds a Theorem 1 cycle separator on one generated instance
+// and runs the distributed certification verifiers on the BFS tree of the
+// configuration, the embedding, and the separator itself.
+func certifyRun(family string, n int, seed int64) error {
+	in, err := gen.ByName(family, n, seed)
+	if err != nil {
+		return err
+	}
+	fs := in.Emb.TraceFaces()
+	root := fs.FaceVertices(in.OuterFace())[0]
+	tree, err := spanning.BFSTree(in.G, root)
+	if err != nil {
+		return err
+	}
+	cfg, err := weights.NewConfig(in.G, in.Emb, in.OuterDart, tree)
+	if err != nil {
+		return err
+	}
+	sep, err := separator.Find(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("certifying separator run: %s n=%d m=%d sepLen=%d phase=%s\n",
+		in.Name, in.G.N(), in.G.M(), len(sep.Path), sep.Phase)
+	verdicts := make([]*cert.Verdict, 0, 3)
+	tv, err := cert.CertifySpanningTree(in.G, tree, cert.Options{})
+	if err != nil {
+		return err
+	}
+	verdicts = append(verdicts, tv)
+	ev, err := cert.CertifyEmbedding(in.Emb, cert.Options{})
+	if err != nil {
+		return err
+	}
+	verdicts = append(verdicts, ev)
+	sv, err := cert.CertifySeparator(in.G, sep, cert.Options{})
+	if err != nil {
+		return err
+	}
+	verdicts = append(verdicts, sv)
+	rejected := false
+	for _, v := range verdicts {
+		printVerdict(v)
+		rejected = rejected || !v.OK
+	}
+	if rejected {
+		return fmt.Errorf("certification rejected the run")
+	}
+	return nil
+}
+
+// printVerdict reports one certification verdict on stdout.
+func printVerdict(v *cert.Verdict) {
+	status := "ACCEPT"
+	if !v.OK {
+		status = fmt.Sprintf("REJECT at %v", v.Rejectors)
+	}
+	fmt.Printf("certify %s: %s labelWords=%d proverRounds=%d verifierRounds=%d aggRounds=%d msgs=%d\n",
+		v.Scheme, status, v.LabelWords, v.ProverRounds, v.VerifierRounds, v.AggRounds, v.Stats.Messages)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,145 @@
+package cert
+
+import (
+	"sort"
+
+	"planardfs/internal/dfs"
+	"planardfs/internal/dist"
+	"planardfs/internal/graph"
+	"planardfs/internal/spanning"
+)
+
+// The DFS-tree scheme. Label layout (3 words):
+//
+//	[parent, tin, tout]
+//
+// [tin, tout) is the vertex's preorder interval. The local predicate at v:
+// the interval is well-formed, the root (parent -1) claims exactly [0, n),
+// the parent is a neighbour whose interval strictly contains v's, the
+// children's intervals (neighbours claiming v as parent) exactly tile
+// [tin+1, tout), and every non-tree edge joins nested intervals (the back
+// edge / ancestry condition that characterises DFS trees).
+//
+// Soundness: exact tiling forces, by induction on interval length, each
+// parent-subtree to hold exactly tout-tin vertices, so the root's tree
+// holds all n vertices — the labels describe one spanning tree whose
+// preorder is the intervals, and the nestedness check on the remaining
+// edges is then precisely the DFS-tree property.
+const dfsWords = 3
+
+// ProveDFSTree assigns the DFS-tree labels of the parent array: the
+// preorder intervals of the tree with children visited in ascending vertex
+// order.
+func ProveDFSTree(g *graph.Graph, root int, parent []int) ([][]int, error) {
+	// The spanning constructor validates the tree shape (reachability,
+	// cycles, root convention); its children order is ascending vertex id,
+	// the same order the preorder below uses.
+	t, err := spanning.NewFromParents(root, parent)
+	if err != nil {
+		return nil, err
+	}
+	n := t.N()
+	tin := make([]int, n)
+	tout := make([]int, n)
+	timer := 0
+	type frame struct{ v, ci int }
+	stack := []frame{{root, 0}}
+	tin[root] = timer
+	timer++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.ci < len(t.Children(f.v)) {
+			c := t.Children(f.v)[f.ci]
+			f.ci++
+			tin[c] = timer
+			timer++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		tout[f.v] = timer
+		stack = stack[:len(stack)-1]
+	}
+	labels := make([][]int, n)
+	for v := 0; v < n; v++ {
+		labels[v] = []int{parent[v], tin[v], tout[v]}
+	}
+	return labels, nil
+}
+
+// dfsJudge is the local DFS-tree predicate at v.
+func dfsJudge(v, n int, nb []int, own []int, got [][]int) bool {
+	par, tin, tout := own[0], own[1], own[2]
+	if tin < 0 || tout > n || tin >= tout {
+		return false
+	}
+	if par == -1 && (tin != 0 || tout != n) {
+		return false
+	}
+	parSeen := par == -1
+	type iv struct{ lo, hi int }
+	var kids []iv
+	for p := range nb {
+		o := got[p]
+		if len(o) != dfsWords {
+			return false
+		}
+		olo, ohi := o[1], o[2]
+		treeEdge := false
+		if nb[p] == par {
+			parSeen = true
+			treeEdge = true
+			if !(olo < tin && tout <= ohi) {
+				return false
+			}
+		}
+		if o[0] == v {
+			treeEdge = true
+			kids = append(kids, iv{olo, ohi})
+		}
+		if !treeEdge {
+			// Non-tree edge: one endpoint must be an ancestor of the other.
+			if !((tin <= olo && ohi <= tout) || (olo <= tin && tout <= ohi)) {
+				return false
+			}
+		}
+	}
+	if !parSeen {
+		return false
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i].lo < kids[j].lo })
+	cursor := tin + 1
+	for _, k := range kids {
+		if k.lo != cursor || k.hi <= k.lo {
+			return false
+		}
+		cursor = k.hi
+	}
+	return cursor == tout
+}
+
+// VerifyDFSTree runs the DFS-tree verifier on an arbitrary (possibly
+// adversarial) label assignment.
+func VerifyDFSTree(g *graph.Graph, labels [][]int, opt Options) (*Verdict, error) {
+	n := g.N()
+	judge := func(v int, got [][]int) bool {
+		return dfsJudge(v, n, g.Neighbors(v), labels[v], got)
+	}
+	return certify(g, "dfs", labels, dfsWords, judge,
+		dist.DFSOrderOps(n).Plus(dist.Ops{TreeAgg: 1}), opt)
+}
+
+// CertifyDFSTree proves and verifies that the parent array is a DFS tree of
+// g rooted at root.
+func CertifyDFSTree(g *graph.Graph, root int, parent []int, opt Options) (*Verdict, error) {
+	labels, err := ProveDFSTree(g, root, parent)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyDFSTree(g, labels, opt)
+}
+
+// CheckDFSTree is the centralized oracle: the ancestry check of every graph
+// edge from the dfs package.
+func CheckDFSTree(g *graph.Graph, root int, parent []int) error {
+	return dfs.IsDFSTree(g, root, parent)
+}

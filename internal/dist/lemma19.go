@@ -53,7 +53,11 @@ func ReRootDistributed(t *spanning.Tree, newRoot int) (*ReRootResult, error) {
 		case isDesc[v]:
 			// Ancestor of newRoot: parent flips to the child towards
 			// newRoot; depth mirrors.
-			res.Parent[v] = t.FirstOnPath(v, newRoot)
+			next, err := t.FirstOnPath(v, newRoot)
+			if err != nil {
+				return nil, err
+			}
+			res.Parent[v] = next
 			res.Depth[v] = d0 - t.Depth[v]
 		default:
 			// Off-path node: same parent; distance goes through the lowest

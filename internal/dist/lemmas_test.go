@@ -193,7 +193,10 @@ func TestReRootDistributedMatchesCentral(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		want := tree.ReRoot(newRoot)
+		want, werr := tree.ReRoot(newRoot)
+		if werr != nil {
+			return false
+		}
 		for v := 0; v < n; v++ {
 			if res.Parent[v] != want.Parent[v] || res.Depth[v] != want.Depth[v] {
 				return false

@@ -171,8 +171,12 @@ func findWithMeter(cfg *weights.Config, opt Options, m *dist.Meter) (*Separator,
 		m.Charge(trace.LayerLemma, "prop5.centroid", dist.PAProblemOps())
 		sp.End()
 		c := cfg.Tree.Centroid()
+		path, err := cfg.Tree.PathUp(c, cfg.Tree.Root)
+		if err != nil {
+			return nil, err
+		}
 		return &Separator{
-			Path:  cfg.Tree.PathUp(c, cfg.Tree.Root),
+			Path:  path,
 			EndA:  c,
 			EndB:  cfg.Tree.Root,
 			Phase: PhaseTree,

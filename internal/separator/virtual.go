@@ -64,8 +64,12 @@ func phase5Virtual(cfg *weights.Config, ec weights.EdgeCase, n int, opt Options)
 			// its own, and x is compatible with the root (they share a
 			// face).
 			if !opt.DisableLongPath && 3*(cfg.Tree.Depth[x]+1) >= n {
+				path, perr := cfg.Tree.PathUp(x, root)
+				if perr != nil {
+					return nil, perr
+				}
 				return &Separator{
-					Path:  cfg.Tree.PathUp(x, root),
+					Path:  path,
 					EndA:  x,
 					EndB:  root,
 					Phase: PhaseLongPath,
@@ -199,7 +203,10 @@ func exhaustive(cfg *weights.Config, n int) (*Separator, error) {
 	}
 	root := cfg.Tree.Root
 	for x := 0; x < n; x++ {
-		path := cfg.Tree.PathUp(x, root)
+		path, err := cfg.Tree.PathUp(x, root)
+		if err != nil {
+			return nil, err
+		}
 		if 3*VerifyBalance(cfg.G, path) <= 2*n {
 			return &Separator{Path: path, EndA: x, EndB: root, Phase: PhaseExhaustive}, nil
 		}

@@ -1,0 +1,137 @@
+package spanning
+
+import "testing"
+
+// Edge-case coverage for the tree query machinery: single-vertex trees,
+// path trees, root queries and u == v queries — the degenerate shapes the
+// certification verifiers hit on adversarial inputs.
+
+func singleVertexTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := NewFromParents(0, []int{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func pathTree(t *testing.T, n int) *Tree {
+	t.Helper()
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	tr, err := NewFromParents(0, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSingleVertexTree(t *testing.T) {
+	tr := singleVertexTree(t)
+	if got := tr.LCA(0, 0); got != 0 {
+		t.Fatalf("LCA(0,0) = %d", got)
+	}
+	if !tr.IsAncestor(0, 0) {
+		t.Fatal("vertex not its own ancestor")
+	}
+	if p, err := tr.PathUp(0, 0); err != nil || len(p) != 1 || p[0] != 0 {
+		t.Fatalf("PathUp(0,0) = %v, %v", p, err)
+	}
+	if got := tr.TPath(0, 0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("TPath(0,0) = %v", got)
+	}
+	if _, err := tr.FirstOnPath(0, 0); err == nil {
+		t.Fatal("FirstOnPath(0,0) did not error")
+	}
+	if rr, err := tr.ReRoot(0); err != nil || rr.Root != 0 {
+		t.Fatalf("ReRoot(0) = %+v, %v", rr, err)
+	}
+	if got := tr.Centroid(); got != 0 {
+		t.Fatalf("Centroid = %d", got)
+	}
+	if got := tr.Ancestor(0, 5); got != 0 {
+		t.Fatalf("Ancestor(0, 5) = %d", got)
+	}
+}
+
+func TestPathTreeQueries(t *testing.T) {
+	const n = 7
+	tr := pathTree(t, n)
+	// Root queries.
+	for v := 0; v < n; v++ {
+		if got := tr.LCA(tr.Root, v); got != tr.Root {
+			t.Fatalf("LCA(root, %d) = %d", v, got)
+		}
+		if got := tr.LCA(v, v); got != v {
+			t.Fatalf("LCA(%d,%d) = %d", v, v, got)
+		}
+	}
+	// On a path, the LCA is the shallower endpoint.
+	if got := tr.LCA(3, 6); got != 3 {
+		t.Fatalf("LCA(3,6) = %d", got)
+	}
+	// FirstOnPath descends toward a descendant, ascends otherwise.
+	if got := tr.MustFirstOnPath(0, 6); got != 1 {
+		t.Fatalf("FirstOnPath(0,6) = %d", got)
+	}
+	if got := tr.MustFirstOnPath(6, 0); got != 5 {
+		t.Fatalf("FirstOnPath(6,0) = %d", got)
+	}
+	if _, err := tr.FirstOnPath(4, 4); err == nil {
+		t.Fatal("FirstOnPath(4,4) did not error")
+	}
+	if _, err := tr.FirstOnPath(-1, 3); err == nil {
+		t.Fatal("FirstOnPath(-1,3) did not error")
+	}
+	// Ancestor clamps at the root.
+	if got := tr.Ancestor(6, 100); got != 0 {
+		t.Fatalf("Ancestor(6, 100) = %d", got)
+	}
+	// PathUp from a vertex to itself is the singleton path.
+	if p, err := tr.PathUp(4, 4); err != nil || len(p) != 1 || p[0] != 4 {
+		t.Fatalf("PathUp(4,4) = %v, %v", p, err)
+	}
+}
+
+func TestReRootEdgeCases(t *testing.T) {
+	const n = 5
+	tr := pathTree(t, n)
+	// Re-rooting at the current root is the identity.
+	same, err := tr.ReRoot(tr.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if same.Parent[v] != tr.Parent[v] {
+			t.Fatalf("ReRoot(root) changed parent of %d: %d vs %d",
+				v, same.Parent[v], tr.Parent[v])
+		}
+	}
+	// Re-rooting a path at the far leaf reverses every edge.
+	rev, err := tr.ReRoot(n - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		want := v + 1
+		if v == n-1 {
+			want = -1
+		}
+		if rev.Parent[v] != want {
+			t.Fatalf("reversed path: parent[%d] = %d, want %d", v, rev.Parent[v], want)
+		}
+		if rev.Depth[v] != n-1-v {
+			t.Fatalf("reversed path: depth[%d] = %d, want %d", v, rev.Depth[v], n-1-v)
+		}
+	}
+	// Out-of-range targets error instead of panicking.
+	if _, err := tr.ReRoot(-1); err == nil {
+		t.Fatal("ReRoot(-1) did not error")
+	}
+	if _, err := tr.ReRoot(n); err == nil {
+		t.Fatalf("ReRoot(%d) did not error", n)
+	}
+}

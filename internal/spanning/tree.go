@@ -203,6 +203,11 @@ func (t *Tree) buildLifting() {
 
 // Ancestor returns the k-th ancestor of v (the root if k exceeds the depth).
 func (t *Tree) Ancestor(v, k int) int {
+	if k >= t.Depth[v] {
+		// Also guards the binary lifting against k beyond the table range,
+		// whose high bits the loop below would silently drop.
+		return t.Root
+	}
 	t.buildLifting()
 	for i := 0; k > 0 && i < len(t.up); i++ {
 		if k&1 == 1 {
@@ -231,11 +236,30 @@ func (t *Tree) LCA(u, v int) int {
 }
 
 // PathUp returns the path from v up to ancestor a, inclusive on both ends.
-// It panics if a is not an ancestor of v.
-func (t *Tree) PathUp(v, a int) []int {
-	if !t.IsAncestor(a, v) {
-		panic(fmt.Sprintf("spanning: %d is not an ancestor of %d", a, v))
+// It returns an error if a is not an ancestor of v, so callers handling
+// adversarial inputs (the certification verifiers) cannot be crashed.
+func (t *Tree) PathUp(v, a int) ([]int, error) {
+	if v < 0 || v >= len(t.Parent) || a < 0 || a >= len(t.Parent) {
+		return nil, fmt.Errorf("spanning: PathUp(%d, %d) out of range", v, a)
 	}
+	if !t.IsAncestor(a, v) {
+		return nil, fmt.Errorf("spanning: %d is not an ancestor of %d", a, v)
+	}
+	return t.pathUp(v, a), nil
+}
+
+// MustPathUp is PathUp for callers holding the ancestor invariant; it panics
+// on violation and must not be used on untrusted inputs.
+func (t *Tree) MustPathUp(v, a int) []int {
+	path, err := t.PathUp(v, a)
+	if err != nil {
+		panic(err.Error())
+	}
+	return path
+}
+
+// pathUp is the unchecked walk; a must be an ancestor of v.
+func (t *Tree) pathUp(v, a int) []int {
 	var path []int
 	for x := v; ; x = t.Parent[x] {
 		path = append(path, x)
@@ -249,8 +273,8 @@ func (t *Tree) PathUp(v, a int) []int {
 // TPath returns the unique tree path from u to v (inclusive).
 func (t *Tree) TPath(u, v int) []int {
 	w := t.LCA(u, v)
-	up := t.PathUp(u, w)   // u .. w
-	down := t.PathUp(v, w) // v .. w
+	up := t.pathUp(u, w)   // u .. w
+	down := t.pathUp(v, w) // v .. w
 	for i := len(down) - 2; i >= 0; i-- {
 		up = append(up, down[i])
 	}
@@ -258,22 +282,38 @@ func (t *Tree) TPath(u, v int) []int {
 }
 
 // FirstOnPath returns the first vertex after u on the tree path from u to v.
-// It panics if u == v.
-func (t *Tree) FirstOnPath(u, v int) int {
+// It returns an error if u == v (the path has no second vertex).
+func (t *Tree) FirstOnPath(u, v int) (int, error) {
 	if u == v {
-		panic("spanning: FirstOnPath with u == v")
+		return -1, fmt.Errorf("spanning: FirstOnPath with u == v (%d)", u)
+	}
+	if u < 0 || u >= len(t.Parent) || v < 0 || v >= len(t.Parent) {
+		return -1, fmt.Errorf("spanning: FirstOnPath(%d, %d) out of range", u, v)
 	}
 	if t.IsAncestor(u, v) {
 		// Descend: the child of u that is an ancestor of v.
-		return t.Ancestor(v, t.Depth[v]-t.Depth[u]-1)
+		return t.Ancestor(v, t.Depth[v]-t.Depth[u]-1), nil
 	}
-	return t.Parent[u]
+	return t.Parent[u], nil
+}
+
+// MustFirstOnPath is FirstOnPath for callers holding the u != v invariant; it
+// panics on violation and must not be used on untrusted inputs.
+func (t *Tree) MustFirstOnPath(u, v int) int {
+	x, err := t.FirstOnPath(u, v)
+	if err != nil {
+		panic(err.Error())
+	}
+	return x
 }
 
 // ReRoot returns a new tree with the same edge set rooted at newRoot
 // (Lemma 19's reference semantics).
-func (t *Tree) ReRoot(newRoot int) *Tree {
+func (t *Tree) ReRoot(newRoot int) (*Tree, error) {
 	n := len(t.Parent)
+	if newRoot < 0 || newRoot >= n {
+		return nil, fmt.Errorf("spanning: ReRoot target %d out of range", newRoot)
+	}
 	parent := make([]int, n)
 	copy(parent, t.Parent)
 	// Reverse the path from newRoot to the old root.
@@ -286,9 +326,9 @@ func (t *Tree) ReRoot(newRoot int) *Tree {
 	}
 	nt, err := NewFromParents(newRoot, parent)
 	if err != nil {
-		panic(fmt.Sprintf("spanning: ReRoot produced invalid tree: %v", err))
+		return nil, fmt.Errorf("spanning: ReRoot produced invalid tree: %w", err)
 	}
-	return nt
+	return nt, nil
 }
 
 // SubtreeRangeVertex returns any vertex v whose subtree size lies in

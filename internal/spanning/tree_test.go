@@ -105,20 +105,23 @@ func TestAncestorAndFirstOnPath(t *testing.T) {
 	if tr.Ancestor(9, 99) != 0 {
 		t.Fatal("deep Ancestor should clamp to root")
 	}
-	if tr.FirstOnPath(0, 9) != 3 {
+	if tr.MustFirstOnPath(0, 9) != 3 {
 		t.Fatal("FirstOnPath descending wrong")
 	}
-	if tr.FirstOnPath(4, 9) != 1 {
+	if tr.MustFirstOnPath(4, 9) != 1 {
 		t.Fatal("FirstOnPath ascending wrong")
 	}
-	if tr.FirstOnPath(3, 9) != 6 {
+	if tr.MustFirstOnPath(3, 9) != 6 {
 		t.Fatal("FirstOnPath descend one wrong")
 	}
 }
 
 func TestReRoot(t *testing.T) {
 	tr := sampleTree(t)
-	rr := tr.ReRoot(6)
+	rr, err := tr.ReRoot(6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rr.Root != 6 || rr.Parent[6] != -1 {
 		t.Fatal("new root wrong")
 	}
@@ -328,14 +331,17 @@ func TestSubtreeRangeVertex(t *testing.T) {
 	}
 }
 
-func TestPathUpPanics(t *testing.T) {
+func TestPathUpNonAncestorErrors(t *testing.T) {
 	tr := sampleTree(t)
+	if _, err := tr.PathUp(4, 3); err == nil {
+		t.Fatal("PathUp with non-ancestor should return an error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("PathUp with non-ancestor should panic")
+			t.Fatal("MustPathUp with non-ancestor should panic")
 		}
 	}()
-	tr.PathUp(4, 3)
+	tr.MustPathUp(4, 3)
 }
 
 // Property: LCA matches the naive parent-walk implementation.

@@ -36,6 +36,9 @@ const (
 	// LayerDFS is one recursion phase or JOIN sub-phase of the Theorem 2
 	// DFS driver.
 	LayerDFS
+	// LayerCert is one certification phase (prover labelling, verifier
+	// label exchange, verdict aggregation) of internal/cert.
+	LayerCert
 
 	numLayers
 )
@@ -52,6 +55,8 @@ func (l Layer) String() string {
 		return "separator"
 	case LayerDFS:
 		return "dfs"
+	case LayerCert:
+		return "cert"
 	}
 	return "unknown"
 }

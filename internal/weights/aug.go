@@ -23,7 +23,7 @@ func (cfg *Config) AugWeight(ec EdgeCase, z int) int {
 	t := cfg.Tree
 	if z != ec.U && t.IsAncestor(ec.U, z) {
 		pi := cfg.Pi(ec)
-		z1 := t.FirstOnPath(ec.U, z)
+		z1 := t.MustFirstOnPath(ec.U, z)
 		pu := 0
 		for _, c := range cfg.childOrder[ec.U] {
 			if c != z1 && cfg.childInCone(ec, ec.U, c) && pi[c] < pi[z1] {

@@ -82,7 +82,7 @@ func (cfg *Config) sweptPrefix(ec EdgeCase, z int) []int {
 		}
 	}
 	if z != ec.U && t.IsAncestor(ec.U, z) {
-		z1 := t.FirstOnPath(ec.U, z)
+		z1 := t.MustFirstOnPath(ec.U, z)
 		for _, c := range cfg.childOrder[ec.U] {
 			if c != z1 && cfg.childInCone(ec, ec.U, c) && pi[c] < pi[z1] {
 				mark(c)

@@ -28,7 +28,7 @@ func (cfg *Config) Classify(e int) EdgeCase {
 	ec := EdgeCase{U: u, V: v, Z: -1, UseLeft: true}
 	if cfg.Tree.IsAncestor(u, v) {
 		ec.Ancestor = true
-		ec.Z = cfg.Tree.FirstOnPath(u, v)
+		ec.Z = cfg.Tree.MustFirstOnPath(u, v)
 		ec.UseLeft = cfg.TPosOf(u, v) > cfg.TPosOf(u, ec.Z)
 	}
 	return ec

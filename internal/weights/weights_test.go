@@ -307,7 +307,7 @@ func geometricallyCompatible(cfg *Config, ec EdgeCase, z int) bool {
 	// The U-side vertices that must stay inside the new face.
 	var mustKeep []int
 	if z != ec.U && t.IsAncestor(ec.U, z) {
-		z1 := t.FirstOnPath(ec.U, z)
+		z1 := t.MustFirstOnPath(ec.U, z)
 		for _, c := range cfg.ChildOrder(ec.U) {
 			if c != z1 && cfg.childInCone(ec, ec.U, c) && pi[c] < pi[z1] {
 				mustKeep = append(mustKeep, c)

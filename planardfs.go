@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"planardfs/internal/cert"
 	"planardfs/internal/congest"
 	"planardfs/internal/dfs"
 	"planardfs/internal/dist"
@@ -238,6 +239,44 @@ func BuildDFSTreeTraced(in *Instance, root int, tracer Tracer) (*DFSTree, *DFSTr
 // ancestor-descendant pair.
 func VerifyDFSTree(g *Graph, root int, parent []int) error {
 	return dfs.IsDFSTree(g, root, parent)
+}
+
+// Distributed certification (internal/cert): proof-labeling schemes whose
+// verifiers run on the CONGEST simulator — an O(log n)-bit label per vertex,
+// an O(1)-round label exchange, and one part-wise aggregation of the
+// verdicts.
+type (
+	// CertVerdict is the outcome of a certification run: global acceptance,
+	// rejecting vertices, and round/label-size accounting.
+	CertVerdict = cert.Verdict
+	// CertOptions configure a certification run (engine selection, tracer).
+	CertOptions = cert.Options
+)
+
+// CertifySpanningTree proves and distributively verifies that t is a rooted
+// spanning tree of g.
+func CertifySpanningTree(g *Graph, t *Tree, opt CertOptions) (*CertVerdict, error) {
+	return cert.CertifySpanningTree(g, t, opt)
+}
+
+// CertifyDFSTree proves and distributively verifies the DFS property of the
+// parent array: preorder-interval labels, with every non-tree edge checked
+// to be a back edge.
+func CertifyDFSTree(g *Graph, root int, parent []int, opt CertOptions) (*CertVerdict, error) {
+	return cert.CertifyDFSTree(g, root, parent, opt)
+}
+
+// CertifySeparator proves and distributively verifies the separator
+// property of sep: a simple G-path whose removal leaves components of at
+// most 2n/3 vertices.
+func CertifySeparator(g *Graph, sep *Separator, opt CertOptions) (*CertVerdict, error) {
+	return cert.CertifySeparator(g, sep, opt)
+}
+
+// CertifyEmbedding proves and distributively verifies the Euler sanity of
+// the embedding (genus 0 via aggregated face-leader counts).
+func CertifyEmbedding(emb *Embedding, opt CertOptions) (*CertVerdict, error) {
+	return cert.CertifyEmbedding(emb, opt)
 }
 
 // SeparatorRounds returns the simulated CONGEST round cost of one
