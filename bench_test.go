@@ -241,7 +241,7 @@ func BenchmarkE10DetVsRand(b *testing.B) {
 	var rows []exp.E10Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = exp.E10("stacked", 200, []float64{0.05, 0.5}, 10)
+		rows, err = exp.E10("stacked", 200, []float64{0.05, 0.5}, 10, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,67 @@
+// Command planarvet runs the planarvet analyzer suite (internal/analyze)
+// over Go packages: determinism and CONGEST-model invariants as a hard
+// lint gate.
+//
+// Usage:
+//
+//	go run ./cmd/planarvet ./...
+//	go run ./cmd/planarvet -mapiter ./internal/congest/
+//
+// The binary is a go/analysis unitchecker: when the go command invokes it
+// as a vet tool (with a -V version probe or a *.cfg package config) it
+// speaks the unitchecker protocol directly. When invoked by a human with
+// package patterns, it re-executes itself through `go vet -vettool=<self>`
+// so the go command handles package loading, build caching and
+// test-variant packages — no separate loader, no extra dependencies.
+//
+// Analyzer selection and flags follow vet conventions: -mapiter enables
+// only that analyzer, -mapiter.packages=… adjusts its package list; with
+// no selection flags, all analyzers run.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"planardfs/internal/analyze"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(analyze.All()...) // exits
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planarvet: cannot locate own binary: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "planarvet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vetProtocol reports whether the argument list is a go-vet unitchecker
+// invocation: a -V=… version probe, a -flags capability probe, or a
+// package config file ending in .cfg.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCleanTree builds the multichecker and runs the full suite over the
+// module, which must be free of findings: the lint gate in CI is this
+// command exiting zero.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vets the whole module; CI covers this in the lint job")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "planarvet")
+	build := exec.Command("go", "build", "-o", bin, "planardfs/cmd/planarvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("planarvet found issues on the repaired tree: %v\n%s", err, out)
+	}
+}
+
+// TestFlagsProtocol checks the unitchecker side: the binary must answer the
+// go command's -flags capability probe with every analyzer's enable flag.
+func TestFlagsProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "planarvet")
+	build := exec.Command("go", "build", "-o", bin, "planardfs/cmd/planarvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags probe: %v", err)
+	}
+	for _, name := range []string{"mapiter", "rngwallclock", "congestmsg", "spanbalance"} {
+		if !strings.Contains(string(out), `"Name": "`+name+`"`) {
+			t.Errorf("-flags output does not register analyzer %s:\n%s", name, out)
+		}
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}

@@ -133,7 +133,7 @@ func run() error {
 		}
 	case "e10":
 		n := sizes[0]
-		rows, err := exp.E10("stacked", n, []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0}, *trials)
+		rows, err := exp.E10("stacked", n, []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0}, *trials, *seed)
 		if err != nil {
 			return err
 		}

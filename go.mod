@@ -1,3 +1,10 @@
 module planardfs
 
-go 1.22
+go 1.22.0
+
+require golang.org/x/tools v0.28.1
+
+// Offline vendored subset of x/tools (go/analysis and its dependency
+// closure), copied from the Go toolchain's cmd/vendor tree; see
+// third_party/golang.org/x/tools/LICENSE.
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,26 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"planardfs/internal/analyze"
+)
+
+// TestRegistry validates the suite the way the unitchecker will: every
+// analyzer well-formed (name, doc, run function, acyclic requirements)
+// and all four invariant checkers present.
+func TestRegistry(t *testing.T) {
+	all := analyze.All()
+	if err := analysis.Validate(all); err != nil {
+		t.Fatalf("analysis.Validate: %v", err)
+	}
+	want := map[string]bool{"mapiter": true, "rngwallclock": true, "congestmsg": true, "spanbalance": true}
+	for _, a := range all {
+		delete(want, a.Name)
+	}
+	for name := range want {
+		t.Errorf("analyzer %s is not registered", name)
+	}
+}

@@ -1,0 +1,268 @@
+// Package analyzetest is the test harness for the planarvet analyzers.
+//
+// The stock x/tools analysistest package needs go/packages, which the
+// offline vendored x/tools subset does not carry; this harness gets the
+// same effect through the front door instead: it builds cmd/planarvet
+// once, runs it via `go vet -vettool` over a self-contained testdata
+// module (so the go command does the loading exactly as it will in CI),
+// and diffs the reported diagnostics against `// want "regexp"`
+// annotations in the fixture sources.
+//
+// Fixture layout: each analyzer package owns a testdata/ directory that is
+// a complete Go module (its own go.mod, stdlib-only imports). Package
+// paths inside the module are chosen to exercise the analyzers'
+// import-path suffix matching (for example mapitertest/internal/congest is
+// a "deterministic package" to mapiter). A line may carry one or more
+// want annotations:
+//
+//	for k := range m { // want "range over map"
+//
+// Every want must be matched by a diagnostic on its line, and every
+// diagnostic must be covered by a want.
+package analyzetest
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// binary builds cmd/planarvet once per test process and returns its path.
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildDir, buildErr = os.MkdirTemp("", "planarvet-test")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, "planarvet"), "planardfs/cmd/planarvet")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building planarvet: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(buildDir, "planarvet")
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not in a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// diag is one reported diagnostic, keyed by fixture-relative file and line.
+type diag struct {
+	file string
+	line int
+	msg  string
+}
+
+// Run vets the testdata module at dir with only the named analyzer enabled
+// and checks the diagnostics against the fixtures' want annotations. Extra
+// analyzer flags ("-mapiter.packages=x") may be passed through.
+func Run(t *testing.T, analyzer, dir string, flags ...string) {
+	t.Helper()
+	bin := binary(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	args := append([]string{"vet", "-vettool=" + bin, "-" + analyzer}, flags...)
+	args = append(args, "./...")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = abs
+	out, _ := cmd.CombinedOutput() // findings exit non-zero by design
+
+	got := parseDiagnostics(t, abs, string(out))
+	want := parseWants(t, abs)
+
+	matched := make([]bool, len(got))
+	for key, res := range want {
+		for _, re := range res {
+			found := false
+			for i, d := range got {
+				if matched[i] || d.file != key.file || d.line != key.line {
+					continue
+				}
+				if re.MatchString(d.msg) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: no diagnostic matching %q (analyzer %s)", key.file, key.line, re, analyzer)
+			}
+		}
+	}
+	for i, d := range got {
+		if !matched[i] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.msg)
+		}
+	}
+	if t.Failed() {
+		t.Logf("go vet output:\n%s", out)
+	}
+}
+
+// RunExpectFindings vets the fixture with extra analyzer flags and asserts
+// only that at least one diagnostic is produced. It is used for
+// flag-override cases, where the overridden configuration invalidates the
+// fixture's line-exact want annotations.
+func RunExpectFindings(t *testing.T, analyzer, dir string, flags ...string) {
+	t.Helper()
+	bin := binary(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"vet", "-vettool=" + bin, "-" + analyzer}, flags...)
+	args = append(args, "./...")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = abs
+	out, _ := cmd.CombinedOutput()
+	if len(parseDiagnostics(t, abs, string(out))) == 0 {
+		t.Errorf("expected at least one %s diagnostic with flags %v; go vet output:\n%s", analyzer, flags, out)
+	}
+}
+
+var diagRE = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*)$`)
+
+// parseDiagnostics extracts file:line:col diagnostics from go vet output,
+// normalizing paths relative to the fixture root.
+func parseDiagnostics(t *testing.T, root, out string) []diag {
+	t.Helper()
+	var ds []diag
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "exit status") {
+			continue
+		}
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		rel, err := filepath.Rel(root, file)
+		if err != nil {
+			rel = file
+		}
+		n, _ := strconv.Atoi(m[2])
+		ds = append(ds, diag{file: rel, line: n, msg: m[3]})
+	}
+	return ds
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// parseWants scans every fixture .go file for // want annotations.
+func parseWants(t *testing.T, root string) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := wantKey{file: rel, line: i + 1}
+			for _, pat := range splitPatterns(m[1]) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %v", rel, i+1, pat, err)
+				}
+				wants[key] = append(wants[key], re)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// splitPatterns parses a want payload: one or more "double-quoted" or
+// `backquoted` regexps separated by spaces.
+func splitPatterns(s string) []string {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if q, err := strconv.Unquote(s[:end+1]); err == nil {
+				pats = append(pats, q)
+			}
+			s = strings.TrimSpace(s[min(end+1, len(s)):])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return pats
+			}
+			pats = append(pats, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return pats
+		}
+	}
+	return pats
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

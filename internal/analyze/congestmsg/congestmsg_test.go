@@ -1,0 +1,11 @@
+package congestmsg_test
+
+import (
+	"testing"
+
+	"planardfs/internal/analyze/analyzetest"
+)
+
+func TestCongestMsg(t *testing.T) {
+	analyzetest.Run(t, "congestmsg", "testdata")
+}

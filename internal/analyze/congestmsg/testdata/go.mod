@@ -1,0 +1,3 @@
+module congestmsgtest
+
+go 1.22

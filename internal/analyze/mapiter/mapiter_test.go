@@ -1,0 +1,17 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"planardfs/internal/analyze/analyzetest"
+)
+
+func TestMapIter(t *testing.T) {
+	analyzetest.Run(t, "mapiter", "testdata")
+}
+
+// TestPackageListOverride widens the deterministic list to cover the
+// fixture's clean package, which must then be flagged too.
+func TestPackageListOverride(t *testing.T) {
+	analyzetest.RunExpectFindings(t, "mapiter", "testdata", "-mapiter.packages=clean")
+}

@@ -1,0 +1,11 @@
+// Package clean is outside the deterministic package list: map iteration
+// is unrestricted here.
+package clean
+
+func Sum(m map[int]int) int {
+	s := 0
+	for k, v := range m {
+		s += k + v
+	}
+	return s
+}

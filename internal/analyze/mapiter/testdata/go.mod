@@ -1,0 +1,3 @@
+module mapitertest
+
+go 1.22

@@ -1,0 +1,50 @@
+// Package congest is a fixture whose import path suffix places it in the
+// deterministic package list.
+package congest
+
+func Flagged(m map[int]int) int {
+	s := 0
+	for k := range m { // want "range over map m in deterministic package"
+		s += k
+	}
+	for k, v := range m { // want "range over map m in deterministic package"
+		s += k * v
+	}
+	return s
+}
+
+func Suppressed(m map[int]bool) int {
+	n := 0
+	for range m { //planarvet:orderinvariant commutative count
+		n++
+	}
+	//planarvet:orderinvariant keys are sorted before use
+	for k := range m {
+		n += k
+	}
+	return n
+}
+
+func CleanRanges(xs []int, s string, ch chan int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	for range s {
+		n++
+	}
+	for x := range ch {
+		n += x
+	}
+	return n
+}
+
+type set map[string]struct{}
+
+func NamedMapType(s set) int {
+	n := 0
+	for range s { // want "range over map s in deterministic package"
+		n++
+	}
+	return n
+}

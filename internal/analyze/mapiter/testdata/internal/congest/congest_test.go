@@ -1,0 +1,15 @@
+package congest
+
+import "testing"
+
+// Test files are exempt: map ranges here must not be flagged.
+func TestRangesAllowed(t *testing.T) {
+	m := map[int]int{1: 2}
+	s := 0
+	for k, v := range m {
+		s += k + v
+	}
+	if s != 3 {
+		t.Fatal(s)
+	}
+}

@@ -1,0 +1,105 @@
+// Package rngwallclock defines the planarvet analyzer that keeps hidden
+// entropy sources out of library code.
+//
+// Reproducibility in this repo is seed-in, bytes-out: every randomized
+// code path (graph generators, the randomized separator baseline) takes
+// an explicit seed or *rand.Rand, and the tracing subsystem stamps events
+// with the virtual round clock, never wall time. Two constructs undermine
+// that quietly: the package-level math/rand functions, which draw from a
+// process-global generator no caller controls, and wall-clock reads
+// (time.Now/Since/Until), which make output depend on when the run
+// happened. The analyzer flags both in non-test library code. Seeded
+// construction (rand.New, rand.NewSource with an explicit seed) is
+// allowed; clock-seeding a source (rand.NewSource(time.Now()…)) is caught
+// through the time.Now read itself.
+//
+// Escape hatches: //planarvet:rng <reason> for deliberate global-RNG use,
+// //planarvet:wallclock <reason> for deliberate clock reads; packages in
+// the -rngwallclock.allow list (default internal/trace, which owns
+// wall-clock export for trace files) are exempt wholesale.
+package rngwallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"planardfs/internal/analyze/vetutil"
+)
+
+// DefaultAllow lists package suffixes exempt from the wall-clock rule;
+// internal/trace may stamp exported artifacts with real time.
+const DefaultAllow = "internal/trace"
+
+var allow string
+
+// Analyzer flags global math/rand use and wall-clock reads in library code.
+var Analyzer = &analysis.Analyzer{
+	Name:     "rngwallclock",
+	Doc:      "forbid package-level math/rand and wall-clock reads in library code; thread seeds explicitly (suppress with //planarvet:rng or //planarvet:wallclock <reason>)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&allow, "allow", DefaultAllow,
+		"comma-separated import-path suffixes of packages exempt from the wall-clock rule")
+}
+
+// randConstructors are the math/rand functions that take an explicit seed
+// or source and therefore keep randomness caller-controlled.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := vetutil.NewDirectives(pass)
+	allowed := vetutil.PathMatches(pass.Pkg.Path(), allow)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if vetutil.InTestFile(pass, call.Pos()) {
+			return
+		}
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return // methods (e.g. (*rand.Rand).Intn) are seed-threaded by construction
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if randConstructors[fn.Name()] {
+				return
+			}
+			if dirs.SuppressedAt(call.Pos(), "rng") {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"call to package-level %s.%s draws from the process-global generator; thread a seeded *rand.Rand explicitly, or annotate //planarvet:rng <reason>",
+				fn.Pkg().Path(), fn.Name())
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+			default:
+				return
+			}
+			if allowed || dirs.SuppressedAt(call.Pos(), "wallclock") {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"wall-clock read time.%s in deterministic library code; use the virtual round clock (trace.Tracer.Now), or annotate //planarvet:wallclock <reason>",
+				fn.Name())
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,17 @@
+package rngwallclock_test
+
+import (
+	"testing"
+
+	"planardfs/internal/analyze/analyzetest"
+)
+
+func TestRNGWallClock(t *testing.T) {
+	analyzetest.Run(t, "rngwallclock", "testdata")
+}
+
+// TestAllowlistOverride empties the allowlist, so the fixture's
+// internal/trace package is flagged like everything else.
+func TestAllowlistOverride(t *testing.T) {
+	analyzetest.RunExpectFindings(t, "rngwallclock", "testdata", "-rngwallclock.allow=nosuchpkg")
+}

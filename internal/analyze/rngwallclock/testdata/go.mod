@@ -1,0 +1,3 @@
+module rngtest
+
+go 1.22

@@ -1,0 +1,37 @@
+// Package lib is ordinary library code: global RNG draws and wall-clock
+// reads are flagged here.
+package lib
+
+import (
+	"math/rand"
+	"time"
+)
+
+func GlobalRand() int {
+	n := rand.Intn(10)                 // want "package-level math/rand.Intn"
+	n += rand.Int()                    // want "package-level math/rand.Int"
+	rand.Shuffle(3, func(i, j int) {}) // want "package-level math/rand.Shuffle"
+	return n
+}
+
+func SeededOK(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // methods on a threaded *rand.Rand are fine
+}
+
+func WallClock() time.Duration {
+	start := time.Now()      // want "wall-clock read time.Now"
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func Suppressed() (int, time.Time) {
+	n := rand.Intn(10) //planarvet:rng intentionally randomized baseline
+	//planarvet:wallclock export stamp
+	ts := time.Now()
+	return n, ts
+}
+
+func ClockUnrelated(d time.Duration) time.Time {
+	// Other time functions (construction, parsing) are not clock reads.
+	return time.Unix(0, 0).Add(d)
+}

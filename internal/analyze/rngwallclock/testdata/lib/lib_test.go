@@ -1,0 +1,13 @@
+package lib
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Test files are exempt from both rules.
+func TestExempt(t *testing.T) {
+	_ = rand.Intn(10)
+	_ = time.Now()
+}

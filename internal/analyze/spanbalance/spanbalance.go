@@ -1,0 +1,151 @@
+// Package spanbalance defines the planarvet analyzer that keeps the trace
+// span tree well-formed.
+//
+// Trace spans are intervals on the virtual round clock; the exporters
+// (JSONL, Chrome trace_event) and the trace-identity regression tests all
+// assume every StartSpan is matched by an End in the function that opened
+// it. A leaked span corrupts the open-span stack of the recorder for
+// everything started after it, which surfaces far from the culprit. The
+// analyzer enforces the pairing statically: the result of every
+// trace.Tracer.StartSpan call must be bound to a local variable on which
+// .End() is called somewhere in the same function (a plain call on the
+// fall-through path or a defer — including defers wrapped in a closure).
+// Returning the fresh span transfers ownership to the caller and is
+// allowed; discarding it, or storing it anywhere a local .End() cannot be
+// proven, is flagged. Suppress deliberate ownership transfers with
+// //planarvet:spanok <reason>.
+package spanbalance
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"planardfs/internal/analyze/vetutil"
+)
+
+// Analyzer checks that every trace span opened in a function is closed.
+var Analyzer = &analysis.Analyzer{
+	Name:     "spanbalance",
+	Doc:      "every trace.StartSpan must be paired with an End on the returned span in the same function (suppress with //planarvet:spanok <reason>)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := vetutil.NewDirectives(pass)
+
+	// opened maps the local variable bound to a StartSpan result to the
+	// position of the opening call; ended records every object that has an
+	// .End() call on it. Variable objects are scoped to their declaring
+	// function, so file-wide collection cannot conflate functions.
+	type openSite struct {
+		call *ast.CallExpr
+		name string
+	}
+	opened := map[types.Object]openSite{}
+	ended := map[types.Object]bool{}
+
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if vetutil.InTestFile(pass, call.Pos()) {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" && len(call.Args) == 0 {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					ended[obj] = true
+				}
+			}
+		}
+		if !isStartSpan(pass, call) {
+			return true
+		}
+		if dirs.SuppressedAt(call.Pos(), "spanok") {
+			return true
+		}
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.AssignStmt:
+			if obj := assignedIdent(pass, parent, call); obj != nil {
+				opened[obj] = openSite{call: call, name: obj.Name()}
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of StartSpan is not bound to a local variable, so its End cannot be checked; bind it locally, or annotate //planarvet:spanok <reason>")
+		case *ast.ValueSpec:
+			for i, v := range parent.Values {
+				if v == call && i < len(parent.Names) {
+					if obj := pass.TypesInfo.Defs[parent.Names[i]]; obj != nil && parent.Names[i].Name != "_" {
+						opened[obj] = openSite{call: call, name: parent.Names[i].Name}
+						return true
+					}
+				}
+			}
+			pass.Reportf(call.Pos(), "result of StartSpan is discarded; the span is never ended")
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of StartSpan is discarded; the span is never ended")
+		case *ast.ReturnStmt:
+			// Ownership transfers to the caller.
+		default:
+			// Argument, composite literal, etc.: ownership is elsewhere;
+			// the word-of-honour cases stay out of scope.
+		}
+		return true
+	})
+
+	for obj, site := range opened {
+		if !ended[obj] {
+			pass.Reportf(site.call.Pos(),
+				"trace span %s is started but never ended in this function; add defer %s.End(), or annotate //planarvet:spanok <reason>",
+				site.name, site.name)
+		}
+	}
+	return nil, nil
+}
+
+// isStartSpan reports whether call invokes a StartSpan method declared in
+// an internal/trace package (concrete or through the Tracer interface).
+func isStartSpan(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return false
+	}
+	fn, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "internal/trace" || strings.HasSuffix(path, "/internal/trace")
+}
+
+// assignedIdent returns the variable object that receives call's result in
+// assign, or nil when the result lands anywhere a local End cannot be
+// tracked (blank identifier, struct field, map entry, multi-value mismatch).
+func assignedIdent(pass *analysis.Pass, assign *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return nil
+	}
+	for i, rhs := range assign.Rhs {
+		if rhs != call {
+			continue
+		}
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Uses[id]
+	}
+	return nil
+}

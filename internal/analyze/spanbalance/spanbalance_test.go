@@ -1,0 +1,11 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"planardfs/internal/analyze/analyzetest"
+)
+
+func TestSpanBalance(t *testing.T) {
+	analyzetest.Run(t, "spanbalance", "testdata")
+}

@@ -1,0 +1,3 @@
+module spantest
+
+go 1.22

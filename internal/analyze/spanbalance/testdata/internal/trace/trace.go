@@ -1,0 +1,21 @@
+// Package trace is a fixture stub of the tracing subsystem: its import
+// path suffix is what the spanbalance analyzer keys on.
+package trace
+
+type Span interface {
+	SetAttr(key string, val int64)
+	End()
+}
+
+type Tracer interface {
+	StartSpan(layer int, name string) Span
+}
+
+type Recorder struct{}
+
+func (*Recorder) StartSpan(layer int, name string) Span { return nopSpan{} }
+
+type nopSpan struct{}
+
+func (nopSpan) SetAttr(string, int64) {}
+func (nopSpan) End()                  {}

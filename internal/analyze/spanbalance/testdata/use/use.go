@@ -1,0 +1,63 @@
+// Package use exercises the span pairing rule.
+package use
+
+import "spantest/internal/trace"
+
+func DeferClose(tr trace.Tracer) {
+	sp := tr.StartSpan(0, "ok-defer")
+	defer sp.End()
+}
+
+func DirectClose(tr trace.Tracer) {
+	sp := tr.StartSpan(0, "ok-direct")
+	sp.SetAttr("k", 1)
+	sp.End()
+}
+
+func ClosureClose(tr trace.Tracer) {
+	sp := tr.StartSpan(0, "ok-closure")
+	defer func() { sp.End() }()
+}
+
+func Leaked(tr trace.Tracer) {
+	sp := tr.StartSpan(0, "leaked") // want "trace span sp is started but never ended"
+	sp.SetAttr("k", 1)
+}
+
+func Discarded(tr trace.Tracer) {
+	tr.StartSpan(0, "discarded") // want "discarded; the span is never ended"
+}
+
+func BlankAssign(tr trace.Tracer) {
+	_ = tr.StartSpan(0, "blank") // want "not bound to a local variable"
+}
+
+type holder struct{ sp trace.Span }
+
+func FieldStore(tr trace.Tracer, h *holder) {
+	h.sp = tr.StartSpan(0, "field") // want "not bound to a local variable"
+}
+
+func FieldStoreSuppressed(tr trace.Tracer, h *holder) {
+	h.sp = tr.StartSpan(0, "field-ok") //planarvet:spanok closed in holder.finish
+}
+
+func Transfer(tr trace.Tracer) trace.Span {
+	return tr.StartSpan(0, "transferred")
+}
+
+func ConcreteRecorder(r *trace.Recorder) {
+	sp := r.StartSpan(0, "concrete-leak") // want "trace span sp is started but never ended"
+	_ = sp
+}
+
+func Reassigned(tr trace.Tracer) {
+	var sp trace.Span
+	sp = tr.StartSpan(0, "var-assign")
+	sp.End()
+}
+
+func NotATraceSpan(s interface{ StartSpan(int, string) int }) {
+	// StartSpan from outside internal/trace is not ours.
+	s.StartSpan(0, "other")
+}

@@ -1,0 +1,119 @@
+// Package vetutil holds the helpers shared by the planarvet analyzers:
+// //planarvet:<tag> directive lookup, import-path suffix matching and
+// test-file detection.
+package vetutil
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// DirectivePrefix is the comment prefix of a planarvet justification
+// annotation: //planarvet:<tag> <reason>.
+const DirectivePrefix = "//planarvet:"
+
+// Directives indexes every //planarvet:<tag> comment of a pass by file,
+// line and tag, so analyzers can answer "is this report suppressed?" in
+// O(1) per site.
+type Directives struct {
+	fset  *token.FileSet
+	byTag map[string]map[fileLine]bool
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// NewDirectives scans the files of pass once and indexes its planarvet
+// annotations.
+func NewDirectives(pass *analysis.Pass) *Directives {
+	d := &Directives{fset: pass.Fset, byTag: make(map[string]map[fileLine]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+				if !ok {
+					continue
+				}
+				tag := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					tag = rest[:i]
+				}
+				pos := pass.Fset.Position(c.Pos())
+				m := d.byTag[tag]
+				if m == nil {
+					m = make(map[fileLine]bool)
+					d.byTag[tag] = m
+				}
+				m[fileLine{pos.Filename, pos.Line}] = true
+			}
+		}
+	}
+	return d
+}
+
+// SuppressedAt reports whether a //planarvet:<tag> annotation covers the
+// source line of pos: the annotation may sit on the same line (trailing
+// comment) or on the line directly above.
+func (d *Directives) SuppressedAt(pos token.Pos, tag string) bool {
+	m := d.byTag[tag]
+	if m == nil {
+		return false
+	}
+	p := d.fset.Position(pos)
+	return m[fileLine{p.Filename, p.Line}] || m[fileLine{p.Filename, p.Line - 1}]
+}
+
+// SuppressedDecl reports whether a declaration is annotated: like
+// SuppressedAt, but the annotation may also appear anywhere in the doc
+// comment groups attached to the declaration (the TypeSpec's own doc or
+// the enclosing GenDecl's).
+func (d *Directives) SuppressedDecl(pos token.Pos, tag string, docs ...*ast.CommentGroup) bool {
+	if d.SuppressedAt(pos, tag) {
+		return true
+	}
+	for _, cg := range docs {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+			if !ok {
+				continue
+			}
+			if rest == tag || strings.HasPrefix(rest, tag+" ") || strings.HasPrefix(rest, tag+"\t") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PathMatches reports whether the import path matches any of the
+// comma-separated path suffixes in list. A suffix matches when it equals
+// the path or terminates it at a path-segment boundary, so
+// "internal/congest" matches both "planardfs/internal/congest" and a
+// testdata module's "x/internal/congest", but not "internal/congestion".
+func PathMatches(path, list string) bool {
+	for _, suf := range strings.Split(list, ",") {
+		suf = strings.TrimSpace(suf)
+		if suf == "" {
+			continue
+		}
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// InTestFile reports whether pos lies in a _test.go file; the analyzers
+// check library code only.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	f := pass.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}

@@ -1,0 +1,24 @@
+package vetutil
+
+import "testing"
+
+func TestPathMatches(t *testing.T) {
+	cases := []struct {
+		path, list string
+		want       bool
+	}{
+		{"planardfs/internal/congest", "internal/congest", true},
+		{"internal/congest", "internal/congest", true},
+		{"mapitertest/internal/congest", "internal/congest", true},
+		{"planardfs/internal/congestion", "internal/congest", false},
+		{"planardfs/myinternal/congest", "internal/congest", false},
+		{"planardfs/internal/dist", "internal/congest,internal/dist", true},
+		{"planardfs/internal/dist", "", false},
+		{"planardfs/internal/dist", " internal/dist ", true},
+	}
+	for _, c := range cases {
+		if got := PathMatches(c.path, c.list); got != c.want {
+			t.Errorf("PathMatches(%q, %q) = %v, want %v", c.path, c.list, got, c.want)
+		}
+	}
+}

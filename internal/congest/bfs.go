@@ -53,7 +53,9 @@ func (bn *BFSNode) Round(round int, recv []Incoming) ([]Outgoing, bool) {
 		if in.Msg.Kind != msgBFS {
 			continue
 		}
-		d := in.Msg.Args[0] + 1
+		var p intPayload
+		Unpack(in.Msg, &p)
+		d := p.Val + 1
 		if bn.Dist < 0 || d < bn.Dist {
 			bn.Dist = d
 			bn.ParentID = bn.info.Neighbors[in.Port]
@@ -65,8 +67,9 @@ func (bn *BFSNode) Round(round int, recv []Incoming) ([]Outgoing, bool) {
 	}
 	bn.pending = false
 	out := make([]Outgoing, 0, len(bn.info.Neighbors))
+	announce := Pack(msgBFS, &intPayload{Val: bn.Dist})
 	for p := range bn.info.Neighbors {
-		out = append(out, Outgoing{Port: p, Msg: Message{Kind: msgBFS, Args: []int{bn.Dist}}})
+		out = append(out, Outgoing{Port: p, Msg: announce})
 	}
 	return out, true
 }
@@ -103,7 +106,9 @@ func NewBroadcastNodes(nw *Network, parent []int, root, value int) []Node {
 func (cn *CastNode) Round(round int, recv []Incoming) ([]Outgoing, bool) {
 	for _, in := range recv {
 		if in.Msg.Kind == msgCast && !cn.Has {
-			cn.Value = in.Msg.Args[0]
+			var p intPayload
+			Unpack(in.Msg, &p)
+			cn.Value = p.Val
 			cn.Has = true
 			cn.pending = true
 		}
@@ -115,7 +120,7 @@ func (cn *CastNode) Round(round int, recv []Incoming) ([]Outgoing, bool) {
 	var out []Outgoing
 	for p := range cn.info.Neighbors {
 		if p != cn.parentPort {
-			out = append(out, Outgoing{Port: p, Msg: Message{Kind: msgCast, Args: []int{cn.Value}}})
+			out = append(out, Outgoing{Port: p, Msg: Pack(msgCast, &intPayload{Val: cn.Value})})
 		}
 	}
 	return out, true

@@ -62,7 +62,9 @@ func (cn *ConvergecastNode) Round(round int, recv []Incoming) ([]Outgoing, bool)
 		}
 		if cn.waiting[in.Port] {
 			delete(cn.waiting, in.Port)
-			cn.acc = cn.op.combine(cn.acc, in.Msg.Args[0])
+			var p intPayload
+			Unpack(in.Msg, &p)
+			cn.acc = cn.op.combine(cn.acc, p.Val)
 		}
 	}
 	if len(cn.waiting) > 0 || cn.sent {
@@ -73,5 +75,5 @@ func (cn *ConvergecastNode) Round(round int, recv []Incoming) ([]Outgoing, bool)
 	if cn.parentPort < 0 {
 		return nil, true
 	}
-	return []Outgoing{{Port: cn.parentPort, Msg: Message{Kind: msgConverge, Args: []int{cn.acc}}}}, true
+	return []Outgoing{{Port: cn.parentPort, Msg: Pack(msgConverge, &intPayload{Val: cn.acc})}}, true
 }

@@ -117,13 +117,17 @@ func (pn *PANode) Round(round int, recv []Incoming) ([]Outgoing, bool) {
 	for _, in := range recv {
 		switch in.Msg.Kind {
 		case msgPAPair:
-			p, v := in.Msg.Args[0], in.Msg.Args[1]
+			var pp pairPayload
+			Unpack(in.Msg, &pp)
+			p, v := pp.Part, pp.Value
 			pn.buf[in.Port] = append(pn.buf[in.Port], paPair{p, v})
 			pn.partsBelow[in.Port][p] = true
 		case msgPAEnd:
 			pn.ended[in.Port] = true
 		case msgDownPair:
-			p, v := in.Msg.Args[0], in.Msg.Args[1]
+			var pp pairPayload
+			Unpack(in.Msg, &pp)
+			p, v := pp.Part, pp.Value
 			if p == pn.part {
 				pn.Result = v
 				pn.HasResult = true
@@ -159,7 +163,7 @@ func (pn *PANode) Round(round int, recv []Incoming) ([]Outgoing, bool) {
 				}
 			} else {
 				out = append(out, Outgoing{Port: pn.parentPort,
-					Msg: Message{Kind: msgPAPair, Args: []int{pair.part, pair.value}}})
+					Msg: Pack(msgPAPair, &pairPayload{Part: pair.part, Value: pair.value})})
 				sentPair = true
 			}
 		}
@@ -195,7 +199,7 @@ func (pn *PANode) Round(round int, recv []Incoming) ([]Outgoing, bool) {
 	for _, cp := range pn.childPorts {
 		if q := pn.downQ[cp]; len(q) > 0 {
 			out = append(out, Outgoing{Port: cp,
-				Msg: Message{Kind: msgDownPair, Args: []int{q[0].part, q[0].value}}})
+				Msg: Pack(msgDownPair, &pairPayload{Part: q[0].part, Value: q[0].value})})
 			pn.downQ[cp] = q[1:]
 			done = false
 		} else if pn.recvEnd && pn.downEndAt[cp] {

@@ -1,0 +1,35 @@
+package congest
+
+import "testing"
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := Pack(msgBFS, &intPayload{Val: 42})
+	if m.Kind != msgBFS || len(m.Args) != 1 {
+		t.Fatalf("Pack(msgBFS, 42) = %+v", m)
+	}
+	var got intPayload
+	Unpack(m, &got)
+	if got.Val != 42 {
+		t.Fatalf("round trip: got %d, want 42", got.Val)
+	}
+
+	pm := Pack(msgPAPair, &pairPayload{Part: 7, Value: -3})
+	var gp pairPayload
+	Unpack(pm, &gp)
+	if gp.Part != 7 || gp.Value != -3 {
+		t.Fatalf("pair round trip: got %+v", gp)
+	}
+}
+
+// TestPayloadWithinWordBudget pins the wire size of every built-in payload
+// to the default 4-word message budget the engine enforces at runtime.
+func TestPayloadWithinWordBudget(t *testing.T) {
+	for name, p := range map[string]Payload{
+		"int":  &intPayload{Val: 1},
+		"pair": &pairPayload{Part: 1, Value: 2},
+	} {
+		if w := Pack(0, p).Words(); w > 4 {
+			t.Errorf("payload %s is %d words, exceeding the default budget", name, w)
+		}
+	}
+}

@@ -89,7 +89,7 @@ func joinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int, m *di
 			}
 		}
 		cnt := 0
-		for v := range missing {
+		for v := range missing { //planarvet:orderinvariant per-key delete plus commutative count; no order reaches output
 			if pt.Has(v) {
 				delete(missing, v)
 			} else {
@@ -119,7 +119,7 @@ func joinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int, m *di
 func componentsWithin(g *graph.Graph, inComp map[int]bool, pt *PartialTree) [][]int {
 	seen := map[int]bool{}
 	var order []int
-	for v := range inComp {
+	for v := range inComp { //planarvet:orderinvariant keys are sorted before use
 		order = append(order, v)
 	}
 	sort.Ints(order)

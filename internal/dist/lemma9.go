@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"sort"
 
 	"planardfs/internal/graph"
 	"planardfs/internal/shortcut"
@@ -67,7 +68,16 @@ func SpanningForestDistributed(g *graph.Graph, part *shortcut.Partition) (*Spann
 		}
 		res.Phases++
 		res.Ops = res.Ops.Plus(Ops{PA: 3, Local: 1})
-		for _, m := range best {
+		// Merge in ascending fragment-representative order: the chosen edge
+		// set is order-invariant, but the adjacency append order (and hence
+		// downstream traversal layout) must not depend on map iteration.
+		frags := make([]int, 0, len(best))
+		for f := range best { //planarvet:orderinvariant keys are sorted before use
+			frags = append(frags, f)
+		}
+		sort.Ints(frags)
+		for _, f := range frags {
+			m := best[f]
 			if uf.Union(m.u, m.v) {
 				adj[m.u] = append(adj[m.u], m.v)
 				adj[m.v] = append(adj[m.v], m.u)

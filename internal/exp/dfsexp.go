@@ -162,13 +162,17 @@ type E10Row struct {
 	AvgSamples    float64
 }
 
-// E10 sweeps the randomized baseline's sample rate.
-func E10(family string, n int, rates []float64, trials int) ([]E10Row, error) {
+// E10 sweeps the randomized baseline's sample rate. The base seed is
+// threaded explicitly: trial t uses instance seed baseSeed+t, and the
+// sampling RNG is derived from the same seed, so a run is reproducible
+// from its arguments alone (no global generator involved).
+func E10(family string, n int, rates []float64, trials int, baseSeed int64) ([]E10Row, error) {
 	var rows []E10Row
 	for _, rate := range rates {
 		row := E10Row{Family: family, N: n, SampleRate: rate}
 		totalSamples := 0
-		for seed := int64(1); seed <= int64(trials); seed++ {
+		for t := 0; t < trials; t++ {
+			seed := baseSeed + int64(t)
 			in, err := gen.ByName(family, n, seed)
 			if err != nil {
 				return nil, err

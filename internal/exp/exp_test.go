@@ -153,7 +153,7 @@ func TestE8PartitionedAggregation(t *testing.T) {
 }
 
 func TestE10RandBaseline(t *testing.T) {
-	rows, err := E10("stacked", 60, []float64{0.1, 1.0}, 6)
+	rows, err := E10("stacked", 60, []float64{0.1, 1.0}, 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,12 @@
 // probability, can fail (no face passes the band, or an unbalanced face
 // passes), and its round cost in CONGEST carries the same Õ(D) shortcut
 // factors plus the sampling overhead.
+//
+// The package is the repo's one *intentionally* randomized algorithm, and
+// it still obeys the determinism policy enforced by planarvet
+// (rngwallclock): the RNG is always a caller-supplied *rand.Rand, never
+// the process-global math/rand generator, so a baseline run is
+// reproducible from its seed.
 package randsep
 
 import (

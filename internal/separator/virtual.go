@@ -164,7 +164,15 @@ func rootFaceCandidates(cfg *weights.Config) []int {
 	}
 	seen := map[int]bool{root: true}
 	var out []int
-	for f := range atRoot {
+	// Scan faces in ascending id order: the candidate *set* is iteration-
+	// invariant, but `seen` dedup means first-wins, so the face order must
+	// be fixed before the balance sort below can canonicalize ties.
+	faces := make([]int, 0, len(atRoot))
+	for f := range atRoot { //planarvet:orderinvariant keys are sorted before use
+		faces = append(faces, f)
+	}
+	sort.Ints(faces)
+	for _, f := range faces {
 		for _, v := range fs.FaceVertices(f) {
 			if !seen[v] && !cfg.G.HasEdge(root, v) {
 				seen[v] = true

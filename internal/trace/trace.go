@@ -121,11 +121,11 @@ type nopSpan struct{}
 func (nopSpan) SetAttr(string, int64) {}
 func (nopSpan) End()                  {}
 
-func (nopTracer) Enabled() bool                 { return false }
-func (nopTracer) StartSpan(Layer, string) Span  { return nopSpan{} }
-func (nopTracer) Advance(int64)                 {}
-func (nopTracer) Now() int64                    { return 0 }
-func (nopTracer) Count(string, int64)           {}
-func (nopTracer) SetGauge(string, int64)        {}
-func (nopTracer) Observe(string, int64)         {}
-func (nopTracer) Sample(string, int64)          {}
+func (nopTracer) Enabled() bool                { return false }
+func (nopTracer) StartSpan(Layer, string) Span { return nopSpan{} }
+func (nopTracer) Advance(int64)                {}
+func (nopTracer) Now() int64                   { return 0 }
+func (nopTracer) Count(string, int64)          {}
+func (nopTracer) SetGauge(string, int64)       {}
+func (nopTracer) Observe(string, int64)        {}
+func (nopTracer) Sample(string, int64)         {}
