@@ -11,11 +11,19 @@
 // verifier rounds and the verification message volume, so `benchjson -cert
 // -o BENCH_cert.json` regenerates that baseline.
 //
+// With -chaos it measures the supervised recovery runtime (internal/chaos):
+// for each (program, family, fault-spec) triple it runs the full
+// execute-certify-retry loop under a deterministic fault plan and records
+// the outcome, attempt count, total rounds across attempts and the round
+// overhead relative to the fault-free run of the same stage, so `benchjson
+// -chaos -o BENCH_chaos.json` regenerates that baseline.
+//
 // Usage:
 //
 //	benchjson -o BENCH_congest.json
 //	benchjson -n 2048 -families grid,stacked -programs bfs,dfs
 //	benchjson -cert -o BENCH_cert.json
+//	benchjson -chaos -n 256 -families grid,cylinderish -o BENCH_chaos.json
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"testing"
 
 	"planardfs/internal/cert"
+	"planardfs/internal/chaos"
 	"planardfs/internal/congest"
 	"planardfs/internal/gen"
 	"planardfs/internal/separator"
@@ -81,10 +90,14 @@ func run() error {
 	seq := flag.Bool("seq", false, "use the sequential reference engine")
 	workers := flag.Int("workers", 0, "worker count for the sharded engine (0 = NumCPU)")
 	certMode := flag.Bool("cert", false, "benchmark the certification layer instead of the round engine")
+	chaosMode := flag.Bool("chaos", false, "benchmark the supervised recovery runtime instead of the round engine")
 	flag.Parse()
 
 	if *certMode {
 		return runCert(*out, *n, *families, *seq, *workers)
+	}
+	if *chaosMode {
+		return runChaos(*out, *n, *families, *seq, *workers)
 	}
 
 	file := File{
@@ -267,6 +280,186 @@ func runCert(out string, n int, families string, seq bool, workers int) error {
 		return err
 	}
 	return os.WriteFile(out, data, 0o644)
+}
+
+// ChaosEntry is one (program, family, fault-spec) supervised-recovery
+// measurement. Outcome, attempts, rounds and fault tallies are
+// deterministic properties of the plan; per-op numbers are measured.
+type ChaosEntry struct {
+	Program        string  `json:"program"`
+	Family         string  `json:"family"`
+	Spec           string  `json:"spec"`
+	Seed           int64   `json:"seed"`
+	N              int     `json:"n"`
+	M              int     `json:"m"`
+	Outcome        string  `json:"outcome"`
+	Attempts       int     `json:"attempts"`
+	RoundsTotal    int     `json:"rounds_total"`
+	BaselineRounds int     `json:"baseline_rounds"`
+	RoundOverhead  float64 `json:"round_overhead"`
+	FaultsFired    int64   `json:"faults_fired"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+}
+
+// ChaosFile is the schema of BENCH_chaos.json.
+type ChaosFile struct {
+	Schema    string       `json:"schema"`
+	Engine    string       `json:"engine"`
+	Workers   int          `json:"workers"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Entries   []ChaosEntry `json:"entries"`
+}
+
+// chaosScenarios are the fault plans the baseline sweeps, from quiescent
+// supervision overhead to a mixed plan that usually forces retries.
+// The tight horizon concentrates the random fault rounds into the live
+// prefix of the run (a BFS on these instances finishes in a few dozen
+// rounds). Point faults (drop/corrupt/stall) only fire when they land on
+// an in-flight message, so the bursts are sized for a couple of expected
+// hits; link-down and crash are persistent and fire on their own.
+var chaosScenarios = []struct{ name, spec string }{
+	{"clean", ""},
+	{"drops", "drops=48,horizon=24"},
+	{"corruptions", "corruptions=48,horizon=24"},
+	{"linkdown", "linkdowns=2,horizon=24"},
+	{"mixed", "drops=3,corruptions=2,crashes=1,horizon=24"},
+}
+
+func runChaos(out string, n int, families string, seq bool, workers int) error {
+	file := ChaosFile{
+		Schema:    "planardfs/bench-chaos/v1",
+		Engine:    "parallel",
+		Workers:   workers,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if seq {
+		file.Engine = "sequential"
+	}
+	for _, fam := range strings.Split(families, ",") {
+		for _, prog := range []string{"bfs", "awerbuch"} {
+			for _, sc := range chaosScenarios {
+				e, err := measureChaos(prog, fam, sc.name, sc.spec, n, seq, workers)
+				if err != nil {
+					return fmt.Errorf("%s/%s/%s: %w", prog, fam, sc.name, err)
+				}
+				file.Entries = append(file.Entries, e)
+				fmt.Fprintf(os.Stderr, "%-8s %-12s %-12s outcome=%-21s attempts=%d rounds=%d (%.2fx) %.2fms/op\n",
+					e.Program, e.Family, sc.name, e.Outcome, e.Attempts, e.RoundsTotal,
+					e.RoundOverhead, float64(e.NsPerOp)/1e6)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// measureChaos benchmarks one supervised run: the stage under the fault
+// plan, certification after every attempt, retries with backoff and (for
+// the DFS program) degradation to a fault-free fallback. The overhead
+// column is total supervised rounds over the fault-free rounds of the same
+// stage.
+func measureChaos(program, family, specName, spec string, n int, seq bool, workers int) (ChaosEntry, error) {
+	in, err := gen.ByName(family, n, 1)
+	if err != nil {
+		return ChaosEntry{}, err
+	}
+	g := in.G
+	opt := cert.Options{Sequential: seq, Workers: workers}
+	const seed = 1
+
+	var plan *chaos.Plan
+	if spec != "" {
+		s, err := chaos.ParseSpec(spec)
+		if err != nil {
+			return ChaosEntry{}, err
+		}
+		s.Protect = []int{0} // the root survives: crashes land elsewhere
+		plan = chaos.NewPlan(seed, s)
+	}
+
+	supervise := func(p *chaos.Plan) (*chaos.Report, error) {
+		switch program {
+		case "bfs":
+			st := chaos.BFSTreeStage(g, 0, p, opt)
+			_, rep, err := chaos.RunWithRecovery(st, nil, chaos.Policy{})
+			return rep, err
+		case "awerbuch":
+			primary := chaos.AwerbuchDFS(g, 0, p, opt)
+			fallback := chaos.AwerbuchDFS(g, 0, nil, opt)
+			_, rep, err := chaos.RunWithRecovery(primary, &fallback, chaos.Policy{})
+			return rep, err
+		default:
+			return nil, fmt.Errorf("unknown program %q", program)
+		}
+	}
+
+	base, err := supervise(nil)
+	if err != nil {
+		return ChaosEntry{}, err
+	}
+	baseline := totalRounds(base)
+
+	var rep *chaos.Report
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := supervise(plan)
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			rep = r
+		}
+	})
+	if benchErr != nil {
+		return ChaosEntry{}, benchErr
+	}
+	e := ChaosEntry{
+		Program:        program,
+		Family:         family,
+		Spec:           spec,
+		Seed:           seed,
+		N:              g.N(),
+		M:              g.M(),
+		Outcome:        rep.Outcome.String(),
+		Attempts:       len(rep.Attempts),
+		RoundsTotal:    totalRounds(rep),
+		BaselineRounds: baseline,
+		FaultsFired:    rep.Faults.Total(),
+		NsPerOp:        res.NsPerOp(),
+		BytesPerOp:     res.AllocedBytesPerOp(),
+		AllocsPerOp:    res.AllocsPerOp(),
+	}
+	if baseline > 0 {
+		e.RoundOverhead = float64(e.RoundsTotal) / float64(baseline)
+	}
+	return e, nil
+}
+
+func totalRounds(rep *chaos.Report) int {
+	total := 0
+	for _, a := range rep.Attempts {
+		total += a.Rounds
+	}
+	return total
 }
 
 // measureCert prepares one correct output for the scheme and benchmarks the

@@ -16,7 +16,16 @@
 // count of the parallel engine (0 = NumCPU). -trace writes a Chrome
 // trace_event file of the run and -metrics prints the counter registry.
 // -certify runs the distributed certification verifier on the program
-// output (bfs and awerbuch) and reports the verdict.
+// output (bfs and awerbuch), reports the verdict, and exits nonzero on
+// rejection.
+//
+// Fault injection: -chaos "drops=2,corruptions=1,crashes=1" arms a
+// deterministic fault plan (seeded by -chaos-seed) on the run; with
+// -recover the run executes under the supervised recovery runtime
+// (certify, retry with backoff, degrade), exiting nonzero only when
+// recovery exhausts its attempts:
+//
+//	congestsim -program bfs -chaos drops=3 -chaos-seed 7 -recover
 package main
 
 import (
@@ -25,9 +34,11 @@ import (
 	"os"
 
 	"planardfs/internal/cert"
+	"planardfs/internal/chaos"
 	"planardfs/internal/congest"
 	"planardfs/internal/dfs"
 	"planardfs/internal/gen"
+	"planardfs/internal/graph"
 	"planardfs/internal/shortcut"
 	"planardfs/internal/spanning"
 	"planardfs/internal/trace"
@@ -52,7 +63,20 @@ func run() error {
 	seq := flag.Bool("seq", false, "use the sequential reference engine instead of the sharded one")
 	workers := flag.Int("workers", 0, "worker count for the sharded engine (0 = NumCPU)")
 	certify := flag.Bool("certify", false, "run the distributed certification verifier on the program output")
+	chaosSpec := flag.String("chaos", "", "deterministic fault-injection spec, e.g. \"drops=2,corruptions=1,crashes=1\"")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-plan seed for -chaos")
+	recoverRun := flag.Bool("recover", false, "execute under the supervised recovery runtime (certify, retry, degrade)")
 	flag.Parse()
+
+	var plan *chaos.Plan
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		spec.Protect = []int{0} // the root survives: crashes elsewhere
+		plan = chaos.NewPlan(*chaosSeed, spec)
+	}
 
 	var in *gen.Instance
 	var err error
@@ -83,6 +107,16 @@ func run() error {
 	if rec != nil {
 		copt.Tracer = rec
 	}
+	if *recoverRun {
+		if err := runSupervised(*program, g, *parts, plan, copt); err != nil {
+			return err
+		}
+		return exportTrace(rec, *traceOut, *metrics)
+	}
+	var inj *chaos.Injector
+	if plan != nil {
+		inj = plan.Arm(nw, 1)
+	}
 	switch *program {
 	case "bfs":
 		nodes := congest.NewBFSNodes(nw, 0)
@@ -109,7 +143,9 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			printVerdict(v)
+			if err := printVerdict(v); err != nil {
+				return err
+			}
 		}
 	case "awerbuch":
 		nodes := congest.NewAwerbuchNodes(nw, 0)
@@ -129,7 +165,9 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			printVerdict(v)
+			if err := printVerdict(v); err != nil {
+				return err
+			}
 		}
 	case "pa":
 		partOf := make([]int, g.N())
@@ -187,6 +225,9 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown program %q", *program)
 	}
+	if inj != nil {
+		fmt.Printf("chaos: fired %s\n", inj.Counts())
+	}
 	st := nw.Stats()
 	fmt.Printf("rounds=%d messages=%d words=%d maxEdgeLoad=%d maxRoundWords=%d maxEdgeCongestion=%d\n",
 		st.Rounds, st.Messages, st.Words, st.MaxEdgeLoad, st.MaxRoundWords, st.MaxEdgeCongestion)
@@ -203,34 +244,99 @@ func run() error {
 		fmt.Printf("per-round messages: mean=%.1f peak=%d (round %d) busy=%d/%d rounds\n",
 			float64(st.Messages)/float64(len(st.RoundMessages)), peak, peakAt, busy, len(st.RoundMessages))
 	}
-	if rec != nil {
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				return err
-			}
-			if err := rec.WriteChromeTrace(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("trace written to %s\n", *traceOut)
+	return exportTrace(rec, *traceOut, *metrics)
+}
+
+// exportTrace writes the Chrome trace and metrics dump, when requested.
+func exportTrace(rec *trace.Recorder, traceOut string, metrics bool) error {
+	if rec == nil {
+		return nil
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
 		}
-		if *metrics {
-			rec.WriteMetrics(os.Stdout)
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
 		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", traceOut)
+	}
+	if metrics {
+		rec.WriteMetrics(os.Stdout)
 	}
 	return nil
 }
 
-// printVerdict reports one certification verdict on stdout.
-func printVerdict(v *cert.Verdict) {
+// runSupervised executes the program under the supervised recovery runtime
+// and reports the outcome; it fails (nonzero exit) only when recovery
+// exhausts its attempts.
+func runSupervised(program string, g *graph.Graph, parts int, plan *chaos.Plan, opt cert.Options) error {
+	pol := chaos.Policy{Tracer: opt.Tracer}
+	var rep *chaos.Report
+	var err error
+	switch program {
+	case "bfs":
+		st := chaos.BFSTreeStage(g, 0, plan, opt)
+		_, rep, err = chaos.RunWithRecovery(st, nil, pol)
+	case "awerbuch":
+		primary := chaos.AwerbuchDFS(g, 0, plan, opt)
+		fallback := chaos.AwerbuchDFS(g, 0, nil, opt) // fault-free baseline
+		_, rep, err = chaos.RunWithRecovery(primary, &fallback, pol)
+	case "pa":
+		partOf := make([]int, g.N())
+		value := make([]int, g.N())
+		for v := range partOf {
+			partOf[v] = v % parts
+			value[v] = 1
+		}
+		st := chaos.PartwiseSum(g, 0, partOf, value, plan, opt)
+		_, rep, err = chaos.RunWithRecovery(st, nil, pol)
+	default:
+		return fmt.Errorf("-recover supports programs bfs, awerbuch and pa (got %q)", program)
+	}
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	if rep.Outcome == chaos.OutcomeFailed {
+		return fmt.Errorf("recovery exhausted after %d attempts", len(rep.Attempts))
+	}
+	return nil
+}
+
+// printReport dumps a supervised run's report on stdout.
+func printReport(rep *chaos.Report) {
+	fmt.Printf("recovery: outcome=%s attempts=%d faults[%s]\n",
+		rep.Outcome, len(rep.Attempts), rep.Faults)
+	for _, a := range rep.Attempts {
+		status := "accepted"
+		if !a.Accepted {
+			status = "rejected"
+			if a.Err != "" {
+				status += ": " + a.Err
+			}
+		}
+		fmt.Printf("  %s attempt %d: budget=%d rounds=%d faults=%d %s\n",
+			a.Stage, a.Attempt, a.Budget, a.Rounds, a.Faults.Total(), status)
+	}
+}
+
+// printVerdict reports one certification verdict on stdout and returns an
+// error on rejection, so a rejected -certify run exits nonzero.
+func printVerdict(v *cert.Verdict) error {
 	status := "ACCEPT"
 	if !v.OK {
 		status = fmt.Sprintf("REJECT at %v", v.Rejectors)
 	}
 	fmt.Printf("certify %s: %s labelWords=%d proverRounds=%d verifierRounds=%d aggRounds=%d msgs=%d\n",
 		v.Scheme, status, v.LabelWords, v.ProverRounds, v.VerifierRounds, v.AggRounds, v.Stats.Messages)
+	if !v.OK {
+		return fmt.Errorf("certification rejected by %d vertices", len(v.Rejectors))
+	}
+	return nil
 }

@@ -6,6 +6,12 @@
 //	dfsbench -experiment e2 [-sizes 64,256,1024] [-families grid,stacked]
 //	dfsbench -trace out.json -metrics   # instrumented run, Perfetto-loadable
 //	dfsbench -certify                   # self-check one DFS run end to end
+//	dfsbench -recover -chaos structural=4 -chaos-seed 7
+//	                                    # supervised run under injected faults
+//
+// -certify exits nonzero when a verifier rejects; -recover exits nonzero
+// when the supervised runtime exhausts its attempts without a certified
+// (or degraded-but-certified) tree.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"planardfs"
 	"planardfs/internal/cert"
 	"planardfs/internal/dfs"
 	"planardfs/internal/exp"
@@ -37,6 +44,9 @@ func run() error {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of one instrumented DFS run (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry of the instrumented run")
 	certify := flag.Bool("certify", false, "run the Theorem 2 DFS on one instance and certify its output (embedding + DFS tree)")
+	chaosSpec := flag.String("chaos", "", "fault spec for -recover, e.g. structural=4 (see internal/chaos.ParseSpec)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed deriving the deterministic fault plan")
+	recoverRun := flag.Bool("recover", false, "run one supervised DFS (certify, retry with backoff, degrade to Awerbuch); exits nonzero on recovery exhaustion")
 	flag.Parse()
 
 	sizes, err := parseInts(*sizesFlag)
@@ -44,6 +54,10 @@ func run() error {
 		return err
 	}
 	fams := strings.Split(*famFlag, ",")
+
+	if *recoverRun {
+		return recoveryRun(fams[0], sizes[len(sizes)-1], *seed, *chaosSpec, *chaosSeed)
+	}
 
 	if *certify {
 		return certifyRun(fams[0], sizes[len(sizes)-1], *seed)
@@ -185,6 +199,62 @@ func certifyRun(family string, n int, seed int64) error {
 		return fmt.Errorf("certification rejected the run")
 	}
 	return nil
+}
+
+// recoveryRun executes one DFS build under the supervised recovery
+// runtime: the Theorem 2 pipeline perturbed by the fault plan, certified
+// by the DFS proof-labeling scheme, retried with decaying faults and
+// degraded to Awerbuch's token DFS if every pipeline attempt is rejected.
+func recoveryRun(family string, n int, seed int64, spec string, chaosSeed int64) error {
+	in, err := gen.ByName(family, n, seed)
+	if err != nil {
+		return err
+	}
+	fs := in.Emb.TraceFaces()
+	root := fs.FaceVertices(in.OuterFace())[0]
+	var plan *planardfs.FaultPlan
+	if spec != "" {
+		s, err := planardfs.ParseFaultSpec(spec)
+		if err != nil {
+			return err
+		}
+		s.Protect = []int{root} // the root survives: crashes land elsewhere
+		plan = planardfs.NewFaultPlan(chaosSeed, s)
+	}
+	fmt.Printf("supervised DFS run: %s n=%d m=%d root=%d\n", in.Name, in.G.N(), in.G.M(), root)
+	parent, rep, err := planardfs.BuildDFSTreeWithRecovery(in, root, plan, planardfs.RecoveryPolicy{})
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	if rep.Outcome == planardfs.RecoveryFailed {
+		return fmt.Errorf("recovery exhausted after %d attempts", len(rep.Attempts))
+	}
+	edges := 0
+	for _, p := range parent {
+		if p >= 0 {
+			edges++
+		}
+	}
+	fmt.Printf("recovered DFS tree: %d tree edges\n", edges)
+	return nil
+}
+
+// printReport summarizes a supervised run, one line per attempt.
+func printReport(rep *planardfs.RecoveryReport) {
+	fmt.Printf("recovery: outcome=%s attempts=%d faults[%s]\n",
+		rep.Outcome, len(rep.Attempts), rep.Faults)
+	for _, a := range rep.Attempts {
+		status := "accepted"
+		if !a.Accepted {
+			status = "rejected"
+			if a.Err != "" {
+				status += ": " + a.Err
+			}
+		}
+		fmt.Printf("  %s attempt %d: budget=%d rounds=%d faults=%d %s\n",
+			a.Stage, a.Attempt, a.Budget, a.Rounds, a.Faults.Total(), status)
+	}
 }
 
 // printVerdict reports one certification verdict on stdout.

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCLI(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestRecoverCLI drives the supervised DFS end to end through the binary:
+// a fault-free run certifies on the first attempt, and a structural fault
+// burst forces rejections that the runtime must absorb by retrying or
+// degrading to Awerbuch — exiting zero either way, with the outcome named
+// in the report.
+func TestRecoverCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t, "planardfs/cmd/dfsbench")
+
+	out, err := exec.Command(bin, "-recover", "-families", "grid", "-sizes", "36").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fault-free -recover: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "outcome=certified") {
+		t.Fatalf("fault-free run did not certify:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-recover", "-families", "grid", "-sizes", "36",
+		"-chaos", "structural=4", "-chaos-seed", "7").CombinedOutput()
+	if err != nil {
+		t.Fatalf("faulted -recover should self-heal, got: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "rejected") {
+		t.Fatalf("structural burst never rejected an attempt:\n%s", s)
+	}
+	if !strings.Contains(s, "outcome=certified-after-retry") && !strings.Contains(s, "outcome=degraded") {
+		t.Fatalf("expected a retry or degraded outcome:\n%s", s)
+	}
+	if !strings.Contains(s, "recovered DFS tree: 35 tree edges") {
+		t.Fatalf("recovered tree is not spanning:\n%s", s)
+	}
+
+	// A malformed spec must fail fast, before any run starts.
+	if out, err := exec.Command(bin, "-recover", "-chaos", "bogus=1").CombinedOutput(); err == nil {
+		t.Fatalf("bogus fault spec accepted:\n%s", out)
+	}
+}
+
+// TestCertifyCLI checks the plain -certify path still exits zero and
+// prints ACCEPT verdicts for both schemes it runs.
+func TestCertifyCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t, "planardfs/cmd/dfsbench")
+	out, err := exec.Command(bin, "-certify", "-families", "grid", "-sizes", "36").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-certify: %v\n%s", err, out)
+	}
+	if strings.Count(string(out), "ACCEPT") < 2 {
+		t.Fatalf("expected embedding and DFS verdicts to ACCEPT:\n%s", out)
+	}
+}

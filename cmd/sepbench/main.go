@@ -6,6 +6,12 @@
 //	sepbench -experiment e1 [-sizes 64,256,1024,4096] [-families grid,stacked]
 //	sepbench -trace out.json -metrics   # instrumented separator run
 //	sepbench -certify                   # self-check one separator run
+//	sepbench -recover -chaos structural=4 -chaos-seed 7
+//	                                    # supervised separator under faults
+//
+// -certify exits nonzero when a verifier rejects; -recover exits nonzero
+// when the supervised runtime exhausts its attempts without a certified
+// separator.
 package main
 
 import (
@@ -15,7 +21,9 @@ import (
 	"strconv"
 	"strings"
 
+	"planardfs"
 	"planardfs/internal/cert"
+	"planardfs/internal/chaos"
 	"planardfs/internal/exp"
 	"planardfs/internal/gen"
 	"planardfs/internal/separator"
@@ -40,6 +48,9 @@ func run() error {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of one instrumented separator run (load in Perfetto)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry of the instrumented run")
 	certify := flag.Bool("certify", false, "run the Theorem 1 separator on one instance and certify its output (tree + embedding + separator)")
+	chaosSpec := flag.String("chaos", "", "fault spec for -recover, e.g. structural=4 (see internal/chaos.ParseSpec)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed deriving the deterministic fault plan")
+	recoverRun := flag.Bool("recover", false, "run one supervised separator construction (certify, retry with backoff, fall back fault-free); exits nonzero on recovery exhaustion")
 	flag.Parse()
 
 	sizes, err := parseInts(*sizesFlag)
@@ -47,6 +58,10 @@ func run() error {
 		return err
 	}
 	fams := strings.Split(*famFlag, ",")
+
+	if *recoverRun {
+		return recoveryRun(fams[0], sizes[len(sizes)-1], *seed, *chaosSpec, *chaosSeed)
+	}
 
 	if *certify {
 		return certifyRun(fams[0], sizes[len(sizes)-1], *seed)
@@ -222,6 +237,97 @@ func certifyRun(family string, n int, seed int64) error {
 		return fmt.Errorf("certification rejected the run")
 	}
 	return nil
+}
+
+// separatorStage wraps one Theorem 1 separator construction as a
+// supervised stage: the plan's structural faults corrupt the claimed cycle
+// path (decaying across attempts), and the separator proof-labeling scheme
+// decides acceptance. A nil plan yields the fault-free fallback stage.
+func separatorStage(g *gen.Instance, cfg *weights.Config, rounds int, plan *chaos.Plan) chaos.Stage[*separator.Separator] {
+	var structural chaos.Counts
+	return chaos.Stage[*separator.Separator]{
+		Name:          "separator",
+		DefaultBudget: 10*g.G.N() + 100,
+		Run: func(attempt, budget int) (*separator.Separator, int, error) {
+			sep, err := separator.Find(cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			out := *sep
+			out.Path = append([]int(nil), sep.Path...)
+			structural.Structural += int64(plan.CorruptInts(attempt, g.G.N(), out.Path))
+			return &out, rounds, nil
+		},
+		Certify: func(sep *separator.Separator) (chaos.Certification, error) {
+			v, err := cert.CertifySeparator(g.G, sep, cert.Options{})
+			if err != nil {
+				// A corrupted path can break the prover itself; that is an
+				// explicit rejection, not an infrastructure failure.
+				return chaos.Certification{Detail: "structural precheck: " + err.Error()}, nil
+			}
+			return chaos.FromVerdict(v), nil
+		},
+		Faults: func() chaos.Counts { return structural },
+	}
+}
+
+// recoveryRun executes one separator construction under the supervised
+// recovery runtime and prints the per-attempt report.
+func recoveryRun(family string, n int, seed int64, spec string, chaosSeed int64) error {
+	in, err := gen.ByName(family, n, seed)
+	if err != nil {
+		return err
+	}
+	fs := in.Emb.TraceFaces()
+	root := fs.FaceVertices(in.OuterFace())[0]
+	tree, err := spanning.BFSTree(in.G, root)
+	if err != nil {
+		return err
+	}
+	cfg, err := weights.NewConfig(in.G, in.Emb, in.OuterDart, tree)
+	if err != nil {
+		return err
+	}
+	var plan *chaos.Plan
+	if spec != "" {
+		s, err := chaos.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+		s.Protect = []int{root} // the root survives: crashes land elsewhere
+		plan = chaos.NewPlan(chaosSeed, s)
+	}
+	rounds := planardfs.SeparatorRounds(in.G.N(), planardfs.PaperCost{D: tree.MaxDepth(), N: in.G.N()}, 1)
+	fmt.Printf("supervised separator run: %s n=%d m=%d root=%d\n", in.Name, in.G.N(), in.G.M(), root)
+	primary := separatorStage(in, cfg, rounds, plan)
+	fallback := separatorStage(in, cfg, rounds, nil) // fault-free baseline
+	sep, rep, err := chaos.RunWithRecovery(primary, &fallback, chaos.Policy{})
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	if rep.Outcome == chaos.OutcomeFailed {
+		return fmt.Errorf("recovery exhausted after %d attempts", len(rep.Attempts))
+	}
+	fmt.Printf("recovered separator: len=%d phase=%s\n", len(sep.Path), sep.Phase)
+	return nil
+}
+
+// printReport summarizes a supervised run, one line per attempt.
+func printReport(rep *chaos.Report) {
+	fmt.Printf("recovery: outcome=%s attempts=%d faults[%s]\n",
+		rep.Outcome, len(rep.Attempts), rep.Faults)
+	for _, a := range rep.Attempts {
+		status := "accepted"
+		if !a.Accepted {
+			status = "rejected"
+			if a.Err != "" {
+				status += ": " + a.Err
+			}
+		}
+		fmt.Printf("  %s attempt %d: budget=%d rounds=%d faults=%d %s\n",
+			a.Stage, a.Attempt, a.Budget, a.Rounds, a.Faults.Total(), status)
+	}
 }
 
 // printVerdict reports one certification verdict on stdout.

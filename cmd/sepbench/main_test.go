@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCLI(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestRecoverCLI drives the supervised separator end to end: corrupting
+// the claimed cycle path makes the separator scheme reject, and the
+// runtime retries with a decaying burst or falls back to the fault-free
+// stage — never exiting zero with an uncertified separator.
+func TestRecoverCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t, "planardfs/cmd/sepbench")
+
+	out, err := exec.Command(bin, "-recover", "-families", "grid", "-sizes", "64").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fault-free -recover: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "outcome=certified") {
+		t.Fatalf("fault-free run did not certify:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-recover", "-families", "grid", "-sizes", "64",
+		"-chaos", "structural=6", "-chaos-seed", "7").CombinedOutput()
+	if err != nil {
+		t.Fatalf("faulted -recover should self-heal, got: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "rejected") {
+		t.Fatalf("path corruption never rejected an attempt:\n%s", s)
+	}
+	if !strings.Contains(s, "outcome=certified-after-retry") && !strings.Contains(s, "outcome=degraded") {
+		t.Fatalf("expected a retry or degraded outcome:\n%s", s)
+	}
+	if !strings.Contains(s, "recovered separator: len=") {
+		t.Fatalf("no recovered separator reported:\n%s", s)
+	}
+}
+
+// TestCertifyCLI checks the plain -certify path exits zero with ACCEPT
+// verdicts for all three schemes (tree, embedding, separator).
+func TestCertifyCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t, "planardfs/cmd/sepbench")
+	out, err := exec.Command(bin, "-certify", "-families", "grid", "-sizes", "64").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-certify: %v\n%s", err, out)
+	}
+	if strings.Count(string(out), "ACCEPT") < 3 {
+		t.Fatalf("expected three ACCEPT verdicts:\n%s", out)
+	}
+}

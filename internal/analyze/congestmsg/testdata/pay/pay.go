@@ -50,6 +50,34 @@ type Excused struct {
 func (p *Excused) AppendWords(dst []int) []int { return dst }
 func (p *Excused) LoadWords(words []int)       {}
 
+// FaultReport mirrors the chaos recovery-report broadcast payload: the
+// outcome, attempt count and per-kind fault tallies as fixed-width
+// integers. Bounded, never flagged.
+type FaultReport struct {
+	Outcome       int
+	Attempts      int
+	Drops         int
+	Corruptions   int
+	Stalls        int
+	LinkDownDrops int
+	Crashes       int
+	Structural    int
+}
+
+func (p *FaultReport) AppendWords(dst []int) []int { return dst }
+func (p *FaultReport) LoadWords(words []int)       {}
+
+// FaultReportLoose is the tempting-but-wrong variant: shipping the human
+// readable rejection detail or a per-stage table has no word bound.
+type FaultReportLoose struct {
+	Outcome  int
+	Detail   string         // want "field Detail of type string"
+	PerStage map[string]int // want `field PerStage of type map\[string\]int`
+}
+
+func (p *FaultReportLoose) AppendWords(dst []int) []int { return dst }
+func (p *FaultReportLoose) LoadWords(words []int)       {}
+
 // NotAPayload has an unbounded field but no Payload method set: out of
 // scope for this analyzer.
 type NotAPayload struct {

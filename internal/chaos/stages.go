@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"planardfs/internal/cert"
+	"planardfs/internal/congest"
+	"planardfs/internal/graph"
+	"planardfs/internal/spanning"
+)
+
+// Prebuilt supervised stages for the message-level algorithms of
+// internal/congest: each Run arms a fresh injector compiled from (plan,
+// attempt) — so randomized faults are transient across retries — executes
+// the node programs, and extracts the claimed output; each Certify runs
+// the matching internal/cert proof-labeling verifier (or a centralized
+// oracle where no scheme exists). The stage's pipeline-level counterpart —
+// the Theorem 2 separator DFS under structural faults, with Awerbuch as
+// fallback — is assembled at the facade (planardfs.BuildDFSTreeWithRecovery),
+// which owns the planarity machinery.
+
+// network builds the stage network over g per the certification options.
+func stageNetwork(g *graph.Graph, opt cert.Options) *congest.Network {
+	nw := congest.New(g)
+	nw.Parallel = !opt.Sequential
+	nw.Workers = opt.Workers
+	nw.Tracer = opt.Tracer
+	return nw
+}
+
+// AwerbuchDFS is the token-DFS baseline as a supervised stage under the
+// plan's message-level faults, certified by the DFS proof-labeling scheme.
+// Its result is the claimed parent array.
+func AwerbuchDFS(g *graph.Graph, root int, plan *Plan, opt cert.Options) Stage[[]int] {
+	var fired Counts
+	return Stage[[]int]{
+		Name:          "awerbuch",
+		DefaultBudget: 10*g.N() + 100,
+		Run: func(attempt, budget int) ([]int, int, error) {
+			nw := stageNetwork(g, opt)
+			inj := plan.Arm(nw, attempt)
+			nodes := congest.NewAwerbuchNodes(nw, root)
+			rounds, err := nw.Run(nodes, budget)
+			if inj != nil {
+				fired.Add(inj.Counts())
+			}
+			if err != nil {
+				return nil, rounds, err
+			}
+			parent := make([]int, g.N())
+			for v := range parent {
+				parent[v] = nodes[v].(*congest.AwerbuchNode).ParentID
+			}
+			return parent, rounds, nil
+		},
+		Certify: DFSCertifier(g, root, opt),
+		Faults:  func() Counts { return fired },
+	}
+}
+
+// DFSCertifier judges a claimed DFS parent array with the DFS
+// proof-labeling scheme. Malformed arrays (cycles, orphans, out-of-range
+// parents) fail the prover's structural validation before any network
+// runs; that is an explicit rejection of the claim, not an infrastructure
+// error.
+func DFSCertifier(g *graph.Graph, root int, opt cert.Options) func([]int) (Certification, error) {
+	return func(parent []int) (Certification, error) {
+		labels, err := cert.ProveDFSTree(g, root, parent)
+		if err != nil {
+			return Certification{Detail: "structural precheck: " + err.Error()}, nil
+		}
+		v, err := cert.VerifyDFSTree(g, labels, opt)
+		if err != nil {
+			return Certification{}, err
+		}
+		return FromVerdict(v), nil
+	}
+}
+
+// BFSOutput is the claimed output of a distributed BFS run.
+type BFSOutput struct {
+	Parent []int
+	Dist   []int
+}
+
+// BFSTreeStage is the flooding BFS as a supervised stage under the plan's
+// message-level faults, certified by the BFS-tree proof-labeling scheme —
+// the gap judge rejects the shallow-but-wrong spanning trees a dropped
+// announce can leave behind.
+func BFSTreeStage(g *graph.Graph, root int, plan *Plan, opt cert.Options) Stage[BFSOutput] {
+	var fired Counts
+	return Stage[BFSOutput]{
+		Name:          "bfs",
+		DefaultBudget: 2*g.N() + 16,
+		Run: func(attempt, budget int) (BFSOutput, int, error) {
+			nw := stageNetwork(g, opt)
+			inj := plan.Arm(nw, attempt)
+			nodes := congest.NewBFSNodes(nw, root)
+			rounds, err := nw.Run(nodes, budget)
+			if inj != nil {
+				fired.Add(inj.Counts())
+			}
+			if err != nil {
+				return BFSOutput{}, rounds, err
+			}
+			out := BFSOutput{Parent: make([]int, g.N()), Dist: make([]int, g.N())}
+			for v := range out.Parent {
+				bn := nodes[v].(*congest.BFSNode)
+				out.Parent[v] = bn.ParentID
+				out.Dist[v] = bn.Dist
+			}
+			return out, rounds, nil
+		},
+		Certify: func(out BFSOutput) (Certification, error) {
+			v, err := cert.VerifyBFSTree(g, cert.ProveBFSTree(root, out.Parent, out.Dist), opt)
+			if err != nil {
+				return Certification{}, err
+			}
+			return FromVerdict(v), nil
+		},
+		Faults: func() Counts { return fired },
+	}
+}
+
+// PartwiseSum is the part-wise aggregation primitive (Lemma: PA, OpSum) as
+// a supervised stage under the plan's message-level faults, run over the
+// BFS tree of g from root. Its result is the per-vertex aggregate array.
+// No proof-labeling scheme exists for PA, so Certify is the centralized
+// oracle: every vertex must hold exactly the sum of its part.
+func PartwiseSum(g *graph.Graph, root int, partOf, value []int, plan *Plan, opt cert.Options) Stage[[]int] {
+	t, terr := spanning.BFSTree(g, root)
+	want := map[int]int{}
+	for v, part := range partOf {
+		want[part] += value[v]
+	}
+	var fired Counts
+	return Stage[[]int]{
+		Name:          "pa-sum",
+		DefaultBudget: 8*g.N() + 64,
+		Run: func(attempt, budget int) ([]int, int, error) {
+			if terr != nil {
+				return nil, 0, terr
+			}
+			nw := stageNetwork(g, opt)
+			nw.MaxWords = 4
+			inj := plan.Arm(nw, attempt)
+			nodes := congest.NewPANodes(nw, t.Parent, root, partOf, value, congest.OpSum)
+			rounds, err := nw.Run(nodes, budget)
+			if inj != nil {
+				fired.Add(inj.Counts())
+			}
+			if err != nil {
+				return nil, rounds, err
+			}
+			res := make([]int, g.N())
+			for v := range res {
+				pn := nodes[v].(*congest.PANode)
+				if !pn.HasResult {
+					res[v] = int(^uint(0) >> 1) // no result: an impossible sum
+					continue
+				}
+				res[v] = pn.Result
+			}
+			return res, rounds, nil
+		},
+		Certify: func(res []int) (Certification, error) {
+			for v := range res {
+				if res[v] != want[partOf[v]] {
+					return Certification{
+						Rejectors: 1,
+						Detail:    "oracle: wrong part aggregate at a vertex",
+					}, nil
+				}
+			}
+			return Certification{OK: true}, nil
+		},
+		Faults: func() Counts { return fired },
+	}
+}

@@ -1,0 +1,67 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Run errors are typed: a failed run reports the offending round, vertex
+// and port rather than a bare string, and every error matches its sentinel
+// through errors.Is, so supervisors (internal/chaos) and tests can branch
+// on the failure class without parsing messages.
+
+// Protocol-violation sentinels. A *ProtocolError matches ErrProtocol and
+// exactly one of the specific sentinels below.
+var (
+	// ErrProtocol is the class sentinel every protocol violation matches.
+	ErrProtocol = errors.New("congest: protocol violation")
+	// ErrInvalidPort marks a send on a port outside the node's degree.
+	ErrInvalidPort = errors.New("congest: send on invalid port")
+	// ErrDuplicateSend marks two messages on one port in one round.
+	ErrDuplicateSend = errors.New("congest: duplicate send on port")
+	// ErrMessageTooLarge marks a message exceeding the word limit.
+	ErrMessageTooLarge = errors.New("congest: message exceeds word limit")
+)
+
+// ProtocolError reports a node violating the CONGEST sending rules: which
+// vertex, on which port, in which round, and which rule (Kind).
+type ProtocolError struct {
+	Kind   error // one of ErrInvalidPort, ErrDuplicateSend, ErrMessageTooLarge
+	Round  int
+	Vertex int
+	Port   int
+	Words  int // message size in words (ErrMessageTooLarge only)
+	Limit  int // word limit in force (ErrMessageTooLarge only)
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	switch e.Kind {
+	case ErrInvalidPort:
+		return fmt.Sprintf("congest: round %d: node %d sent on invalid port %d", e.Round, e.Vertex, e.Port)
+	case ErrDuplicateSend:
+		return fmt.Sprintf("congest: round %d: node %d sent two messages on port %d in one round", e.Round, e.Vertex, e.Port)
+	case ErrMessageTooLarge:
+		return fmt.Sprintf("congest: round %d: node %d sent a message of %d words on port %d, exceeding the %d-word limit",
+			e.Round, e.Vertex, e.Words, e.Port, e.Limit)
+	}
+	return fmt.Sprintf("congest: round %d: node %d violated the protocol on port %d", e.Round, e.Vertex, e.Port)
+}
+
+// Unwrap makes the error match both ErrProtocol and its specific Kind
+// under errors.Is.
+func (e *ProtocolError) Unwrap() []error { return []error{ErrProtocol, e.Kind} }
+
+// RoundLimitError reports a run exhausting its round budget; it matches
+// ErrRoundLimit under errors.Is.
+type RoundLimitError struct {
+	Limit int
+}
+
+// Error implements error.
+func (e *RoundLimitError) Error() string {
+	return fmt.Sprintf("congest: round limit exceeded (limit %d)", e.Limit)
+}
+
+// Unwrap makes the error match ErrRoundLimit under errors.Is.
+func (e *RoundLimitError) Unwrap() error { return ErrRoundLimit }

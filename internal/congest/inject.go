@@ -1,0 +1,62 @@
+package congest
+
+// Fault injection hook. The round engines call an optional Injector at two
+// deterministic points — once per vertex in the step phase (crash-stop)
+// and once per in-flight message in the delivery phase (drop, corrupt,
+// stall) — so a seeded fault plan perturbs a run identically under the
+// sequential and sharded engines. internal/chaos provides the compiled
+// deterministic implementation; the hook itself is policy-free.
+//
+// Concurrency contract (what makes injected runs engine-identical):
+//
+//   - Crashed(r, v) is invoked during the step phase from the worker that
+//     owns vertex v; it must be a pure read of state compiled before Run.
+//   - Deliver and Released for receiver dst are invoked during the
+//     delivery phase only from the worker that owns dst, in the engine's
+//     fixed scan order (ascending sender for Deliver, then one Released
+//     call). Implementations may keep per-receiver and per-directed-edge
+//     mutable state, but must not share mutable state across receivers.
+//   - Pending is invoked from the coordinator between rounds, after the
+//     delivery barrier.
+//
+// A nil Network.Injector skips every hook; the quiescent round stays
+// allocation-free either way.
+
+// DeliveryFate is an Injector's ruling on one in-flight message.
+type DeliveryFate uint8
+
+// The delivery fates.
+const (
+	// FateDeliver delivers the (possibly rewritten) message this round.
+	FateDeliver DeliveryFate = iota
+	// FateDrop discards the message; the sender is not notified.
+	FateDrop
+	// FateStall withholds the message now; the injector must hand it back
+	// through Released in a later round or report it via Pending until it
+	// does.
+	FateStall
+)
+
+// Injector intercepts a run at the engine's fault-injection points. See the
+// package comment above for the concurrency contract.
+type Injector interface {
+	// Crashed reports whether vertex v is crash-stopped at round r. A
+	// crashed vertex does not step (its program is never called again),
+	// sends nothing, and counts as done for termination; messages already
+	// in flight to it are still delivered and ignored.
+	Crashed(round, v int) bool
+	// Deliver adjudicates the message from src (leaving on srcPort) into
+	// dst (arriving on dstPort) at the given round. It may rewrite the
+	// message (corruption) by returning a modified copy with FateDeliver;
+	// it must not mutate msg.Args in place, which the sender may share
+	// across ports.
+	Deliver(round, src, srcPort, dst, dstPort int, msg Message) (Message, DeliveryFate)
+	// Released appends messages previously stalled toward dst whose delay
+	// expires at this round onto inbox and returns the extended slice. The
+	// appended messages must own their Args (the original sender's buffers
+	// are long recycled).
+	Released(round, dst int, inbox []Incoming) []Incoming
+	// Pending reports whether the injector still withholds stalled
+	// messages; the network does not terminate while it returns true.
+	Pending() bool
+}

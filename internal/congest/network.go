@@ -104,6 +104,11 @@ type Network struct {
 	// only driven from the sequential merge section of the round loop,
 	// so traces are identical under both engines.
 	Tracer trace.Tracer
+	// Injector intercepts the run at the fault-injection points (crash
+	// checks in the step phase, per-message rulings in the delivery
+	// phase); nil disables injection with no hook overhead. See inject.go
+	// for the determinism/concurrency contract.
+	Injector Injector
 
 	stats Stats
 }
@@ -191,6 +196,7 @@ type engine struct {
 	nodes    []Node
 	n        int
 	maxWords int
+	inj      Injector // nil when no faults are injected
 
 	// Flat per-(vertex,port) state: port p of vertex v lives at flat index
 	// off[v]+p; off has length n+1, so off[v+1]-off[v] is the degree of v.
@@ -227,7 +233,7 @@ func newEngine(nw *Network, nodes []Node) *engine {
 	if maxWords <= 0 {
 		maxWords = 4
 	}
-	e := &engine{nw: nw, nodes: nodes, n: n, maxWords: maxWords}
+	e := &engine{nw: nw, nodes: nodes, n: n, maxWords: maxWords, inj: nw.Injector}
 
 	e.off = make([]int, n+1)
 	for v := 0; v < n; v++ {
@@ -352,21 +358,29 @@ func (e *engine) runPhase(ph int) {
 // sender-side port with the current round and records the outbox index, so
 // delivery can find pending messages without touching edge tables.
 func (e *engine) step(v int) {
+	if e.inj != nil && e.inj.Crashed(e.round, v) {
+		// Crash-stop: the program is not called, nothing is sent (stale
+		// epoch stamps deliver nothing), and the vertex counts as done.
+		e.outboxes[v] = nil
+		e.dones[v] = true
+		return
+	}
 	send, done := e.nodes[v].Round(e.round, e.inboxCur[v])
 	base := e.off[v]
 	deg := e.off[v+1] - base
 	for i, out := range send {
 		if out.Port < 0 || out.Port >= deg {
-			e.errs[v] = fmt.Errorf("congest: node %d sent on invalid port %d", v, out.Port)
+			e.errs[v] = &ProtocolError{Kind: ErrInvalidPort, Round: e.round, Vertex: v, Port: out.Port}
 			return
 		}
 		fp := base + out.Port
 		if e.portEpoch[fp] == e.round {
-			e.errs[v] = fmt.Errorf("congest: node %d sent two messages on port %d in one round", v, out.Port)
+			e.errs[v] = &ProtocolError{Kind: ErrDuplicateSend, Round: e.round, Vertex: v, Port: out.Port}
 			return
 		}
 		if out.Msg.Words() > e.maxWords {
-			e.errs[v] = fmt.Errorf("congest: node %d message of %d words exceeds limit %d", v, out.Msg.Words(), e.maxWords)
+			e.errs[v] = &ProtocolError{Kind: ErrMessageTooLarge, Round: e.round, Vertex: v, Port: out.Port,
+				Words: out.Msg.Words(), Limit: e.maxWords}
 			return
 		}
 		e.portEpoch[fp] = e.round
@@ -399,6 +413,13 @@ func (e *engine) deliver(ws *shardStats, lo, hi int) {
 			}
 			msg := e.outboxes[d.src][e.portMsg[sf]].Msg
 			rp := int(d.recvPort)
+			if e.inj != nil {
+				m, fate := e.inj.Deliver(round, int(d.src), int(d.srcPort), w, rp, msg)
+				if fate != FateDeliver {
+					continue // dropped or stalled: not delivered this round
+				}
+				msg = m
+			}
 			inb = append(inb, Incoming{Port: rp, Msg: msg})
 			ws.msgs++
 			ws.words += int64(msg.Words())
@@ -407,6 +428,18 @@ func (e *engine) deliver(ws *shardStats, lo, hi int) {
 				ws.maxCong = 2
 			} else if ws.maxCong < 1 {
 				ws.maxCong = 1
+			}
+		}
+		if e.inj != nil {
+			// Stalled messages whose delay expires this round land after
+			// the regular deliveries, still receiver-owned and in a fixed
+			// order, so injected runs stay engine-identical.
+			prev := len(inb)
+			inb = e.inj.Released(round, w, inb)
+			for _, in := range inb[prev:] {
+				ws.msgs++
+				ws.words += int64(in.Msg.Words())
+				e.portLoad[base+in.Port]++
 			}
 		}
 		e.inboxNxt[w] = inb
@@ -420,7 +453,7 @@ func (e *engine) run(maxRounds int) (int, error) {
 
 	for e.round = 0; ; e.round++ {
 		if e.round >= maxRounds {
-			return e.round, fmt.Errorf("%w (limit %d)", ErrRoundLimit, maxRounds)
+			return e.round, &RoundLimitError{Limit: maxRounds}
 		}
 		e.runPhase(phaseStep)
 		for v := 0; v < e.n; v++ {
@@ -467,7 +500,7 @@ func (e *engine) run(maxRounds int) (int, error) {
 
 		e.inboxCur, e.inboxNxt = e.inboxNxt, e.inboxCur
 
-		if roundMsgs == 0 {
+		if roundMsgs == 0 && (e.inj == nil || !e.inj.Pending()) {
 			all := true
 			for v := 0; v < e.n; v++ {
 				if !e.dones[v] {

@@ -39,6 +39,9 @@ const (
 	// LayerCert is one certification phase (prover labelling, verifier
 	// label exchange, verdict aggregation) of internal/cert.
 	LayerCert
+	// LayerChaos is one supervised-recovery phase of internal/chaos (a
+	// produce/certify attempt, a fallback switch, a terminal report).
+	LayerChaos
 
 	numLayers
 )
@@ -57,6 +60,8 @@ func (l Layer) String() string {
 		return "dfs"
 	case LayerCert:
 		return "cert"
+	case LayerChaos:
+		return "chaos"
 	}
 	return "unknown"
 }

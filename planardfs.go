@@ -32,6 +32,7 @@ import (
 	"math/rand"
 
 	"planardfs/internal/cert"
+	"planardfs/internal/chaos"
 	"planardfs/internal/congest"
 	"planardfs/internal/dfs"
 	"planardfs/internal/dist"
@@ -320,6 +321,86 @@ func RunPartwiseSum(g *Graph, root int, part *Partition, value []int) ([]int, Ne
 		return nil, NetworkStats{}, err
 	}
 	return res.Values, res.Stats, nil
+}
+
+// Deterministic fault injection and certified recovery (internal/chaos):
+// seeded fault plans perturb CONGEST runs reproducibly, and the supervised
+// runtime retries, degrades or fails explicitly — never returning an
+// uncertified result.
+type (
+	// FaultPlan is a deterministic fault scenario: explicit faults plus a
+	// seeded randomized Spec, re-derived per recovery attempt.
+	FaultPlan = chaos.Plan
+	// FaultSpec sizes the randomized portion of a fault plan.
+	FaultSpec = chaos.Spec
+	// FaultCounts tallies faults that actually fired during a run.
+	FaultCounts = chaos.Counts
+	// RecoveryPolicy bounds the supervised runtime (attempts, round
+	// budgets, backoff, tracing).
+	RecoveryPolicy = chaos.Policy
+	// RecoveryReport is the full account of a supervised run: terminal
+	// outcome, per-attempt records, fired faults, and verdicts.
+	RecoveryReport = chaos.Report
+	// RecoveryOutcome classifies how a supervised run ended.
+	RecoveryOutcome = chaos.Outcome
+)
+
+// The supervised outcomes re-exported from internal/chaos.
+const (
+	RecoveryCertified      = chaos.OutcomeCertified
+	RecoveryCertifiedRetry = chaos.OutcomeCertifiedRetry
+	RecoveryDegraded       = chaos.OutcomeDegraded
+	RecoveryFailed         = chaos.OutcomeFailed
+)
+
+// NewFaultPlan returns a plan deriving spec-sized random faults from seed.
+func NewFaultPlan(seed int64, spec FaultSpec) *FaultPlan {
+	return chaos.NewPlan(seed, spec)
+}
+
+// ParseFaultSpec parses a CLI fault-spec string, e.g.
+// "drops=2,corruptions=1,crashes=1,structural=4".
+func ParseFaultSpec(s string) (FaultSpec, error) { return chaos.ParseSpec(s) }
+
+// BuildDFSTreeWithRecovery constructs a DFS tree of the instance under the
+// supervised recovery runtime of internal/chaos. The primary stage is the
+// Theorem 2 separator pipeline, whose simulated output is perturbed by the
+// plan's structural faults (decaying across attempts) and certified by the
+// DFS proof-labeling scheme; if every primary attempt is rejected, the
+// runtime degrades to Awerbuch's message-level token DFS under the plan's
+// message-level faults. The returned parent array is valid only when the
+// report's Outcome is not RecoveryFailed. A nil plan supervises a
+// fault-free run.
+func BuildDFSTreeWithRecovery(in *Instance, root int, plan *FaultPlan, pol RecoveryPolicy) ([]int, *RecoveryReport, error) {
+	g := in.G
+	opt := CertOptions{Tracer: pol.Tracer}
+	var structural chaos.Counts
+	primary := chaos.Stage[[]int]{
+		Name:          "separator-pipeline",
+		DefaultBudget: 10*g.N() + 100,
+		// The pipeline is a simulated (charged) stage: it reports the
+		// paper-model round cost but is not bound by the attempt budget —
+		// its retries are driven by certification rejections of the
+		// structurally faulted output, which decay across attempts.
+		Run: func(attempt, budget int) ([]int, int, error) {
+			pt, dtr, err := dfs.Build(g, in.Emb, in.OuterDart, root)
+			if err != nil {
+				return nil, 0, err
+			}
+			parent := append([]int(nil), pt.Parent...)
+			structural.Structural += int64(plan.CorruptParents(attempt, root, parent))
+			bt, err := spanning.BFSTree(g, root)
+			if err != nil {
+				return nil, 0, err
+			}
+			rounds := DFSRounds(g.N(), dtr, PaperCost{D: bt.MaxDepth(), N: g.N()})
+			return parent, rounds, nil
+		},
+		Certify: chaos.DFSCertifier(g, root, opt),
+		Faults:  func() chaos.Counts { return structural },
+	}
+	fallback := chaos.AwerbuchDFS(g, root, plan, opt)
+	return chaos.RunWithRecovery(primary, &fallback, pol)
 }
 
 // RandomizedSeparator runs the sampling-estimation baseline (Ghaffari-

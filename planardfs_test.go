@@ -175,3 +175,54 @@ func TestPublicDecompose(t *testing.T) {
 		t.Fatalf("decomposition covers %d of %d vertices", seen, in.G.N())
 	}
 }
+
+func TestPublicRecoveryFlow(t *testing.T) {
+	in, err := NewGrid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := OuterRoot(in)
+
+	// Fault-free supervision: one attempt, certified.
+	parent, rep, err := BuildDFSTreeWithRecovery(in, root, nil, RecoveryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != RecoveryCertified {
+		t.Fatalf("fault-free outcome = %v, want certified", rep.Outcome)
+	}
+	if err := VerifyDFSTree(in.G, root, parent); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural faults decay across attempts: the supervisor must either
+	// certify a correct tree after retries or degrade to the (message-level)
+	// Awerbuch fallback — never return an uncertified tree.
+	spec, err := ParseFaultSpec("structural=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewFaultPlan(11, spec)
+	rec := NewTraceRecorder()
+	parent, rep, err = BuildDFSTreeWithRecovery(in, root, plan, RecoveryPolicy{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch rep.Outcome {
+	case RecoveryCertifiedRetry, RecoveryDegraded:
+	default:
+		t.Fatalf("outcome = %v, want retry or degraded under structural faults", rep.Outcome)
+	}
+	if err := VerifyDFSTree(in.G, root, parent); err != nil {
+		t.Fatalf("supervised run returned a non-DFS tree: %v", err)
+	}
+	if rep.Faults.Structural == 0 {
+		t.Fatal("no structural fault fired")
+	}
+	if rec.Counter("chaos.attempts") < 2 {
+		t.Fatal("retry not visible in metrics")
+	}
+	if len(rep.Verdicts) == 0 {
+		t.Fatal("no distributed verdicts recorded")
+	}
+}
