@@ -18,12 +18,20 @@
 // overhead relative to the fault-free run of the same stage, so `benchjson
 // -chaos -o BENCH_chaos.json` regenerates that baseline.
 //
+// With -serve it measures the simulation service (internal/serve) end to
+// end over HTTP: one cold decomposition build per family, then cached LCA,
+// separator-membership, order and cert queries against the
+// content-addressed store, plus a resubmission burst for the cache
+// hit-rate, so `benchjson -serve -n 10000 -o BENCH_serve.json` regenerates
+// that baseline.
+//
 // Usage:
 //
 //	benchjson -o BENCH_congest.json
 //	benchjson -n 2048 -families grid,stacked -programs bfs,dfs
 //	benchjson -cert -o BENCH_cert.json
 //	benchjson -chaos -n 256 -families grid,cylinderish -o BENCH_chaos.json
+//	benchjson -serve -n 10000 -families grid,stacked -o BENCH_serve.json
 package main
 
 import (
@@ -91,6 +99,7 @@ func run() error {
 	workers := flag.Int("workers", 0, "worker count for the sharded engine (0 = NumCPU)")
 	certMode := flag.Bool("cert", false, "benchmark the certification layer instead of the round engine")
 	chaosMode := flag.Bool("chaos", false, "benchmark the supervised recovery runtime instead of the round engine")
+	serveMode := flag.Bool("serve", false, "benchmark the simulation service (cold build vs cached queries) instead of the round engine")
 	flag.Parse()
 
 	if *certMode {
@@ -98,6 +107,9 @@ func run() error {
 	}
 	if *chaosMode {
 		return runChaos(*out, *n, *families, *seq, *workers)
+	}
+	if *serveMode {
+		return runServe(*out, *n, *families, *workers)
 	}
 
 	file := File{

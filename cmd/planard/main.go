@@ -1,0 +1,93 @@
+// Command planard is the planardfs simulation daemon: a long-running HTTP
+// service that accepts separator/DFS/cert/chaos jobs, runs them on a
+// bounded worker pool, and serves repeat queries from a content-addressed
+// decomposition cache (see internal/serve and DESIGN.md §12).
+//
+// Usage:
+//
+//	planard [-addr :8462] [-workers N] [-queue N] [-cache-mb MB] [-max-n N]
+//
+// Quickstart:
+//
+//	planard -addr 127.0.0.1:8462 &
+//	curl -s -X POST localhost:8462/v1/jobs \
+//	     -d '{"family":"grid","n":10000,"seed":1}'   # → {"id":"j1",...}
+//	curl -s localhost:8462/v1/jobs/j1                # poll to "done"
+//	curl -s localhost:8462/v1/graphs/<hash>/query/lca'?u=12&v=9000'
+//	curl -s localhost:8462/v1/metrics
+//
+// SIGINT/SIGTERM drain gracefully: new jobs are rejected immediately,
+// queued and in-flight jobs finish (up to -drain-timeout), then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"planardfs/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "planard:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8462", "listen address")
+	workers := flag.Int("workers", 2, "worker pool size")
+	queue := flag.Int("queue", 64, "job queue depth (admission control)")
+	cacheMB := flag.Int64("cache-mb", 256, "decomposition cache budget in MiB (<0 = unbounded)")
+	maxN := flag.Int("max-n", 1<<20, "largest accepted generator job size")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	s := serve.New(serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheMB << 20,
+		MaxN:       *maxN,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("planard listening on %s (workers=%d queue=%d cache=%dMiB)",
+			*addr, *workers, *queue, *cacheMB)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("planard draining (timeout %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the job pool first (rejects new jobs, finishes queued ones),
+	// then close the HTTP listener.
+	derr := s.Shutdown(dctx)
+	herr := hs.Shutdown(dctx)
+	if derr != nil {
+		return fmt.Errorf("drain incomplete: %w", derr)
+	}
+	if herr != nil && !errors.Is(herr, http.ErrServerClosed) {
+		return herr
+	}
+	log.Printf("planard stopped")
+	return nil
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// End-to-end smoke of the real binary: start planard on an ephemeral port,
+// submit a generator job, poll to completion, run one cached query, assert
+// a cache hit on resubmission, and drain with SIGTERM. This is the same
+// sequence the CI server-smoke step scripts with curl.
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+func TestPlanardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "planard")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/planard")
+	build.Dir = moduleRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	addr := freePort(t)
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "2")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	base := "http://" + addr
+
+	// Wait for the listener.
+	var up bool
+	for i := 0; i < 100; i++ {
+		if resp, err := http.Get(base + "/v1/healthz"); err == nil {
+			resp.Body.Close()
+			up = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !up {
+		t.Fatal("planard never came up")
+	}
+
+	submit := func() (id, hash, state string, cached bool) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", "application/json",
+			strings.NewReader(`{"family":"grid","n":100,"seed":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+		var st struct {
+			ID    string `json:"id"`
+			Hash  string `json:"hash"`
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		// Poll to terminal state.
+		for i := 0; i < 400; i++ {
+			resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cur struct {
+				State  string `json:"state"`
+				Hash   string `json:"hash"`
+				Cached bool   `json:"cached"`
+				Error  string `json:"error"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&cur)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch cur.State {
+			case "done":
+				return st.ID, cur.Hash, cur.State, cur.Cached
+			case "failed", "canceled":
+				t.Fatalf("job %s: %s (%s)", st.ID, cur.State, cur.Error)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatal("job did not finish")
+		return
+	}
+
+	_, hash, _, cached := submit()
+	if cached {
+		t.Fatal("first build reported cached")
+	}
+	// Cached query.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/graphs/%s/query/lca?u=0&v=99", base, hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lca struct {
+		LCA int `json:"lca"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lca); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lca status %d", resp.StatusCode)
+	}
+	// Resubmission is a cache hit.
+	if _, _, _, cached := submit(); !cached {
+		t.Fatal("resubmission was not served from cache")
+	}
+
+	// Graceful SIGTERM drain.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("planard exited with %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("planard did not drain after SIGTERM")
+	}
+}

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -469,5 +470,63 @@ func TestReportPayloadRoundTrip(t *testing.T) {
 	congest.Unpack(msg, &q)
 	if q != *p {
 		t.Fatalf("round trip: %+v != %+v", q, *p)
+	}
+}
+
+// Cancellation: the supervisor must stop retrying mid-flight the moment the
+// context dies, report OutcomeFailed, and surface ctx.Err().
+func TestRecoveryContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	runs := 0
+	st := Stage[int]{
+		Name:          "p",
+		DefaultBudget: 1,
+		Run: func(attempt, budget int) (int, int, error) {
+			runs++
+			if attempt == 2 {
+				cancel() // cancelled while "in flight"
+			}
+			return attempt, 1, nil
+		},
+		Certify: func(int) (Certification, error) {
+			return Certification{Detail: "synthetic reject"}, nil
+		},
+	}
+	fb := syntheticStage("fb", 1, nil)
+	rec := trace.NewRecorder()
+	_, rep, err := RunWithRecoveryContext(ctx, st, &fb, Policy{MaxAttempts: 5, Tracer: rec})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Outcome != OutcomeFailed {
+		t.Fatalf("outcome = %v, want failed", rep.Outcome)
+	}
+	if runs != 2 {
+		t.Fatalf("runs = %d, want 2 (no retries after cancellation, no fallback)", runs)
+	}
+	if rec.Counter("chaos.cancellations") != 1 {
+		t.Fatal("cancellation counter missing")
+	}
+}
+
+// A context cancelled before the first attempt never runs the stage at all.
+func TestRecoveryContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runs := 0
+	st := Stage[int]{
+		Name:          "p",
+		DefaultBudget: 1,
+		Run: func(attempt, budget int) (int, int, error) {
+			runs++
+			return attempt, 1, nil
+		},
+		Certify: func(int) (Certification, error) { return Certification{OK: true}, nil },
+	}
+	if _, _, err := RunWithRecoveryContext(ctx, st, nil, Policy{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if runs != 0 {
+		t.Fatalf("runs = %d, want 0", runs)
 	}
 }

@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"context"
+
 	"planardfs/internal/cert"
 	"planardfs/internal/trace"
 )
@@ -136,13 +138,27 @@ type Report struct {
 // report's Outcome is not OutcomeFailed; the error reports infrastructure
 // failures only (a fault-induced failure is an Outcome, not an error).
 func RunWithRecovery[T any](primary Stage[T], fallback *Stage[T], pol Policy) (T, *Report, error) {
+	return RunWithRecoveryContext(context.Background(), primary, fallback, pol)
+}
+
+// RunWithRecoveryContext is RunWithRecovery under a cancellation context:
+// the supervisor consults ctx before every attempt and before degrading to
+// the fallback, so cancelling stops the retry loop mid-flight instead of
+// letting it burn through the remaining attempt budget. Cancellation is an
+// infrastructure failure: the report's Outcome is OutcomeFailed and the
+// returned error wraps ctx.Err(). Stages whose Run closures are themselves
+// long-running should capture the same ctx and return early when it is
+// done; the supervisor treats that like any other failed attempt and then
+// notices the cancellation before retrying.
+func RunWithRecoveryContext[T any](ctx context.Context, primary Stage[T], fallback *Stage[T], pol Policy) (T, *Report, error) {
 	tr := trace.OrNop(pol.Tracer)
 	sup := tr.StartSpan(trace.LayerChaos, "chaos.supervise")
 	rep := &Report{}
 	var zero T
 
-	res, ok, err := runStage(primary, pol, tr, rep)
+	res, ok, err := runStage(ctx, primary, pol, tr, rep)
 	if err != nil {
+		rep.Outcome = OutcomeFailed
 		sup.End()
 		return zero, rep, err
 	}
@@ -157,8 +173,9 @@ func RunWithRecovery[T any](primary Stage[T], fallback *Stage[T], pol Policy) (T
 	}
 	if fallback != nil {
 		tr.Count("chaos.fallbacks", 1)
-		res, ok, err = runStage(*fallback, pol, tr, rep)
+		res, ok, err = runStage(ctx, *fallback, pol, tr, rep)
 		if err != nil {
+			rep.Outcome = OutcomeFailed
 			sup.End()
 			return zero, rep, err
 		}
@@ -174,8 +191,8 @@ func RunWithRecovery[T any](primary Stage[T], fallback *Stage[T], pol Policy) (T
 }
 
 // runStage retries one stage under the policy until an attempt is
-// certified or the attempt budget runs out.
-func runStage[T any](st Stage[T], pol Policy, tr trace.Tracer, rep *Report) (T, bool, error) {
+// certified, the attempt budget runs out, or ctx is cancelled.
+func runStage[T any](ctx context.Context, st Stage[T], pol Policy, tr trace.Tracer, rep *Report) (T, bool, error) {
 	var zero T
 	attempts := pol.MaxAttempts
 	if attempts <= 0 {
@@ -197,6 +214,10 @@ func runStage[T any](st Stage[T], pol Policy, tr trace.Tracer, rep *Report) (T, 
 		prev = st.Faults()
 	}
 	for a := 1; a <= attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			tr.Count("chaos.cancellations", 1)
+			return zero, false, err
+		}
 		sp := tr.StartSpan(trace.LayerChaos, "chaos.attempt")
 		sp.SetAttr("attempt", int64(a))
 		sp.SetAttr("budget", int64(budget))

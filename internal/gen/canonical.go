@@ -1,0 +1,64 @@
+package gen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Canonical content addressing of embedded planar instances.
+//
+// CanonicalBytes is the byte-level identity of an instance: two instances
+// with the same vertex count, the same edge list (in edge-ID order), the
+// same rotation system and the same outer dart encode to byte-identical
+// buffers, regardless of the cosmetic Name and regardless of how the
+// instance was produced. Since every generator is deterministic in
+// (family, n, seed), a repeated generator job re-derives the same bytes
+// and therefore the same ContentHash — the property the serve layer's
+// content-addressed decomposition cache keys on.
+//
+// The encoding is hand-rolled field by field (a fixed header, then uvarint
+// fields in a fixed order) precisely so that nothing about it can drift
+// with Go struct layout, JSON field order, or map iteration order; the
+// golden-hash regression test in canonical_test.go pins the format.
+
+// canonicalMagic versions the encoding. Bump only with a format change;
+// bumping invalidates every content-addressed cache key.
+const canonicalMagic = "planardfs/graph/v1\n"
+
+// CanonicalBytes returns the canonical encoding of the instance:
+//
+//	magic | n | m | edges[0..m) as (u,v) in edge-ID order |
+//	per vertex: rotation length, then neighbour vertices in clockwise
+//	rotation order | outerDart
+//
+// all integers as unsigned varints. The instance Name is deliberately
+// excluded: it is presentation metadata, not graph identity.
+func CanonicalBytes(in *Instance) []byte {
+	g := in.G
+	buf := make([]byte, 0, len(canonicalMagic)+10*(g.N()+3*g.M())+16)
+	buf = append(buf, canonicalMagic...)
+	buf = binary.AppendUvarint(buf, uint64(g.N()))
+	buf = binary.AppendUvarint(buf, uint64(g.M()))
+	for e := 0; e < g.M(); e++ {
+		ed := g.EdgeByID(e)
+		buf = binary.AppendUvarint(buf, uint64(ed.U))
+		buf = binary.AppendUvarint(buf, uint64(ed.V))
+	}
+	for v := 0; v < g.N(); v++ {
+		order := in.Emb.NeighborOrder(v)
+		buf = binary.AppendUvarint(buf, uint64(len(order)))
+		for _, w := range order {
+			buf = binary.AppendUvarint(buf, uint64(w))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(in.OuterDart))
+	return buf
+}
+
+// ContentHash returns the lowercase hex SHA-256 of CanonicalBytes — the
+// content-addressed identity of the instance.
+func ContentHash(in *Instance) string {
+	sum := sha256.Sum256(CanonicalBytes(in))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,23 @@
+package serve
+
+import "time"
+
+// Wall-clock access for the serve layer, concentrated in one file.
+//
+// The library-wide rngwallclock contract bans wall-clock reads because
+// algorithm output must depend only on inputs. The serve layer is the
+// boundary where that rule legitimately bends: job timestamps, queue-wait
+// and endpoint-latency histograms, and Retry-After estimates are
+// observability of the service itself, not of the algorithms, and they
+// never feed back into any computed result. Every read is annotated and
+// routed through these helpers so the exemption stays auditable.
+
+// nowNanos returns the current wall time in nanoseconds.
+func nowNanos() int64 {
+	return time.Now().UnixNano() //planarvet:wallclock service observability timestamps, never algorithm input
+}
+
+// sinceMicros returns the elapsed microseconds since a nowNanos reading.
+func sinceMicros(startNanos int64) int64 {
+	return (nowNanos() - startNanos) / int64(time.Microsecond)
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"planardfs/internal/cert"
+	"planardfs/internal/chaos"
+	"planardfs/internal/dfs"
+	"planardfs/internal/dist"
+	"planardfs/internal/gen"
+	"planardfs/internal/separator"
+	"planardfs/internal/shortcut"
+	"planardfs/internal/spanning"
+	"planardfs/internal/trace"
+	"planardfs/internal/weights"
+)
+
+// Decomp is the cached decomposition of one content-addressed instance:
+// everything the Theorem 2 pipeline produces that repeat queries want —
+// the certified BFS spanning tree, the DFS tree with its preorder
+// intervals and LCA tables, the cycle separator with its greedy side
+// assignment, and the certification verdicts. Once built it is immutable;
+// query handlers read it without locks and without ever re-running the
+// pipeline.
+type Decomp struct {
+	// Hash is the content address (gen.ContentHash) the store keys on.
+	Hash string
+	// In is the embedded instance the decomposition was computed over.
+	In *gen.Instance
+	// BFS is the BFS spanning tree rooted on the outer face.
+	BFS *spanning.Tree
+	// DFSParent is the Theorem 2 DFS parent array (-1 at the root).
+	DFSParent []int
+	// DFS is the tree view of DFSParent: preorder intervals, binary-lifted
+	// LCA, subtree sizes.
+	DFS *spanning.Tree
+	// Root is the common root of both trees (on the outer face).
+	Root int
+	// Sep is the cycle separator of the whole instance.
+	Sep *separator.Separator
+	// SepSide is the greedy 2-coloring of G minus the separator:
+	// 0 = separator vertex, 1 = side A, 2 = side B.
+	SepSide []int
+	// Verdicts are the proof-labeling certification results, in the fixed
+	// order spanning, dfs, separator.
+	Verdicts []VerdictSummary
+	// Outcome is the supervised-recovery outcome of the DFS stage.
+	Outcome string
+	// Attempts is the number of supervised attempts the DFS stage took.
+	Attempts int
+	// Rounds is the total charged paper-model round cost of the build
+	// (DFS pipeline plus certification provers and verifiers).
+	Rounds int
+	// BuildNanos is the wall-clock build duration (cold path).
+	BuildNanos int64
+	// bytes is the store accounting estimate for LRU eviction.
+	bytes int64
+}
+
+// VerdictSummary is the JSON-stable projection of a cert.Verdict.
+type VerdictSummary struct {
+	Scheme         string `json:"scheme"`
+	OK             bool   `json:"ok"`
+	Rejectors      int    `json:"rejectors"`
+	LabelWords     int    `json:"labelWords"`
+	ProverRounds   int    `json:"proverRounds"`
+	VerifierRounds int    `json:"verifierRounds"`
+}
+
+// pipelineRequest carries the per-job knobs into the build.
+type pipelineRequest struct {
+	// plan optionally injects structural faults into the DFS stage (the
+	// chaos pipeline); nil builds fault-free.
+	plan *chaos.Plan
+	// maxAttempts bounds the supervised retries; 0 uses the chaos default.
+	maxAttempts int
+	// tracer receives the job's spans and metrics; nil disables.
+	tracer trace.Tracer
+}
+
+// buildDecomp runs the full decomposition pipeline over in: BFS spanning
+// tree, supervised Theorem 2 DFS (with Awerbuch degradation under faults),
+// cycle separator with side assignment, and the three certification
+// schemes. ctx cancellation aborts between stages and stops supervised
+// retries mid-flight.
+func buildDecomp(ctx context.Context, in *gen.Instance, pr pipelineRequest) (*Decomp, error) {
+	g := in.G
+	n := g.N()
+	fs := in.Emb.TraceFaces()
+	root := fs.FaceVertices(in.OuterFace())[0]
+
+	bfs, err := spanning.BFSTree(g, root)
+	if err != nil {
+		return nil, fmt.Errorf("serve: BFS tree: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Supervised DFS: the primary stage is the separator pipeline whose
+	// output the plan's structural faults may corrupt; certification
+	// rejects corrupted attempts, and the runtime degrades to Awerbuch's
+	// message-level DFS when the primary exhausts its budget.
+	opt := cert.Options{Tracer: pr.tracer}
+	var structural chaos.Counts
+	var dfsRounds int
+	primary := chaos.Stage[[]int]{
+		Name:          "separator-pipeline",
+		DefaultBudget: 10*n + 100,
+		Run: func(attempt, budget int) ([]int, int, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			pt, dtr, err := dfs.BuildTraced(g, in.Emb, in.OuterDart, root, pr.tracer)
+			if err != nil {
+				return nil, 0, err
+			}
+			parent := append([]int(nil), pt.Parent...)
+			structural.Structural += int64(pr.plan.CorruptParents(attempt, root, parent))
+			cm := shortcut.PaperCost{D: bfs.MaxDepth(), N: n}
+			rounds := dist.DFSBuildOps(n, dtr.Phases, dtr.MaxJoinSubPhases).Rounds(cm, 1)
+			dfsRounds = rounds
+			return parent, rounds, nil
+		},
+		Certify: chaos.DFSCertifier(g, root, opt),
+		Faults:  func() chaos.Counts { return structural },
+	}
+	fallback := chaos.AwerbuchDFS(g, root, pr.plan, opt)
+	pol := chaos.Policy{MaxAttempts: pr.maxAttempts, Tracer: pr.tracer}
+	parent, rep, err := chaos.RunWithRecoveryContext(ctx, primary, &fallback, pol)
+	if err != nil {
+		return nil, fmt.Errorf("serve: DFS stage: %w", err)
+	}
+	if rep.Outcome == chaos.OutcomeFailed {
+		return nil, fmt.Errorf("serve: DFS stage failed after %d attempts", len(rep.Attempts))
+	}
+	dfsTree, err := spanning.NewFromParents(root, parent)
+	if err != nil {
+		return nil, fmt.Errorf("serve: DFS tree view: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Cycle separator of the whole instance plus the greedy 2-coloring.
+	cfg, err := weightsConfig(in, bfs)
+	if err != nil {
+		return nil, err
+	}
+	sep, err := separator.Find(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: separator: %w", err)
+	}
+	side, err := cert.SeparatorSides(g, sep.Path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: separator sides: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Certify everything the cache will answer queries from.
+	vSpan, err := cert.CertifySpanningTree(g, bfs, opt)
+	if err != nil {
+		return nil, fmt.Errorf("serve: certify spanning: %w", err)
+	}
+	vDFS, err := cert.CertifyDFSTree(g, root, parent, opt)
+	if err != nil {
+		return nil, fmt.Errorf("serve: certify dfs: %w", err)
+	}
+	vSep, err := cert.CertifySeparator(g, sep, opt)
+	if err != nil {
+		return nil, fmt.Errorf("serve: certify separator: %w", err)
+	}
+
+	d := &Decomp{
+		Hash:      gen.ContentHash(in),
+		In:        in,
+		BFS:       bfs,
+		DFSParent: parent,
+		DFS:       dfsTree,
+		Root:      root,
+		Sep:       sep,
+		SepSide:   side,
+		Verdicts: []VerdictSummary{
+			summarize(vSpan), summarize(vDFS), summarize(vSep),
+		},
+		Outcome:  rep.Outcome.String(),
+		Attempts: len(rep.Attempts),
+		Rounds: dfsRounds +
+			vSpan.ProverRounds + vSpan.VerifierRounds + vSpan.AggRounds +
+			vDFS.ProverRounds + vDFS.VerifierRounds + vDFS.AggRounds +
+			vSep.ProverRounds + vSep.VerifierRounds + vSep.AggRounds,
+	}
+	d.bytes = estimateBytes(d)
+	return d, nil
+}
+
+// weightsConfig wraps the planar-configuration constructor with a serve
+// error prefix.
+func weightsConfig(in *gen.Instance, tr *spanning.Tree) (*weights.Config, error) {
+	cfg, err := weights.NewConfig(in.G, in.Emb, in.OuterDart, tr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: configuration: %w", err)
+	}
+	return cfg, nil
+}
+
+// summarize projects a verdict into its JSON-stable summary.
+func summarize(v *cert.Verdict) VerdictSummary {
+	return VerdictSummary{
+		Scheme:         v.Scheme,
+		OK:             v.OK,
+		Rejectors:      len(v.Rejectors),
+		LabelWords:     v.LabelWords,
+		ProverRounds:   v.ProverRounds,
+		VerifierRounds: v.VerifierRounds,
+	}
+}
+
+// estimateBytes sizes a decomposition for the store's byte budget: the
+// dominant arrays are counted exactly (8 bytes per int), the trees'
+// binary-lifting tables at their asymptotic n·log n footprint.
+func estimateBytes(d *Decomp) int64 {
+	n := int64(d.In.G.N())
+	m := int64(d.In.G.M())
+	logn := int64(1)
+	for x := n; x > 1; x >>= 1 {
+		logn++
+	}
+	perTree := 8 * (6*n + n*logn) // parent/depth/size/tin/tout/children + lifting
+	return 2*perTree + 8*(2*m+2*n) + 8*int64(len(d.Sep.Path)) + 1024
+}

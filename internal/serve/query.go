@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Cached query endpoints: every handler here answers exclusively from the
+// immutable cached Decomp — no pipeline code runs on the query path. A
+// miss is a 404 telling the client to POST a job first; it never triggers
+// a rebuild, so query latency is bounded by in-memory reads.
+
+// GraphSummary is the GET /v1/graphs/{hash} response.
+type GraphSummary struct {
+	Hash     string `json:"hash"`
+	Name     string `json:"name"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Root     int    `json:"root"`
+	SepLen   int    `json:"sepLen"`
+	SepPhase string `json:"sepPhase"`
+	// Outcome/Attempts/Rounds describe the build that produced the cached
+	// decomposition.
+	Outcome     string           `json:"outcome"`
+	Attempts    int              `json:"attempts"`
+	Rounds      int              `json:"rounds"`
+	BuildMicros int64            `json:"buildMicros"`
+	Verdicts    []VerdictSummary `json:"verdicts"`
+}
+
+// lookupDecomp resolves {hash} against the store or writes 404.
+func (s *Server) lookupDecomp(w http.ResponseWriter, r *http.Request) *Decomp {
+	hash := r.PathValue("hash")
+	d, ok := s.store.get(hash)
+	if !ok {
+		s.metrics.Count("serve.query.miss", 1)
+		writeErr(w, http.StatusNotFound,
+			"no cached decomposition for %q; submit it via POST /v1/jobs first", hash)
+		return nil
+	}
+	return d
+}
+
+// handleGraphSummary is GET /v1/graphs/{hash}.
+func (s *Server) handleGraphSummary(w http.ResponseWriter, r *http.Request) {
+	d := s.lookupDecomp(w, r)
+	if d == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, GraphSummary{
+		Hash:        d.Hash,
+		Name:        d.In.Name,
+		N:           d.In.G.N(),
+		M:           d.In.G.M(),
+		Root:        d.Root,
+		SepLen:      len(d.Sep.Path),
+		SepPhase:    d.Sep.Phase.String(),
+		Outcome:     d.Outcome,
+		Attempts:    d.Attempts,
+		Rounds:      d.Rounds,
+		BuildMicros: d.BuildNanos / 1000,
+		Verdicts:    d.Verdicts,
+	})
+}
+
+// queryVertex parses a required vertex parameter within [0, n).
+func queryVertex(r *http.Request, key string, n int) (int, bool) {
+	v, err := strconv.Atoi(r.URL.Query().Get(key))
+	return v, err == nil && v >= 0 && v < n
+}
+
+// handleGraphQuery is GET /v1/graphs/{hash}/query/{kind}. Kinds:
+//
+//	lca?u=&v=    — lowest common ancestor in the cached DFS tree
+//	order?v=     — DFS preorder interval, parent and depth of v
+//	ancestor?u=&v= — whether u is a DFS-tree ancestor of v
+//	separator?v= — separator membership and 2-coloring side of v
+//	cert         — the cached certification verdicts
+func (s *Server) handleGraphQuery(w http.ResponseWriter, r *http.Request) {
+	start := nowNanos()
+	d := s.lookupDecomp(w, r)
+	if d == nil {
+		return
+	}
+	kind := r.PathValue("kind")
+	n := d.In.G.N()
+	var resp any
+	switch kind {
+	case "lca":
+		u, okU := queryVertex(r, "u", n)
+		v, okV := queryVertex(r, "v", n)
+		if !okU || !okV {
+			writeErr(w, http.StatusBadRequest, "lca needs u and v in [0,%d)", n)
+			return
+		}
+		l := d.DFS.LCA(u, v)
+		resp = map[string]int{"u": u, "v": v, "lca": l, "depth": d.DFS.Depth[l]}
+	case "order":
+		v, ok := queryVertex(r, "v", n)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "order needs v in [0,%d)", n)
+			return
+		}
+		lo, hi := d.DFS.Interval(v)
+		resp = map[string]int{
+			"v": v, "parent": d.DFSParent[v], "depth": d.DFS.Depth[v],
+			"tin": lo, "tout": hi, "subtreeSize": d.DFS.SubtreeSize(v),
+		}
+	case "ancestor":
+		u, okU := queryVertex(r, "u", n)
+		v, okV := queryVertex(r, "v", n)
+		if !okU || !okV {
+			writeErr(w, http.StatusBadRequest, "ancestor needs u and v in [0,%d)", n)
+			return
+		}
+		resp = map[string]bool{"ancestor": d.DFS.IsAncestor(u, v)}
+	case "separator":
+		v, ok := queryVertex(r, "v", n)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "separator needs v in [0,%d)", n)
+			return
+		}
+		resp = map[string]any{
+			"v":           v,
+			"onSeparator": d.SepSide[v] == 0,
+			"side":        d.SepSide[v],
+			"sepLen":      len(d.Sep.Path),
+			"endA":        d.Sep.EndA,
+			"endB":        d.Sep.EndB,
+		}
+	case "cert":
+		resp = d.Verdicts
+	default:
+		writeErr(w, http.StatusNotFound,
+			"unknown query kind %q (know lca, order, ancestor, separator, cert)", kind)
+		return
+	}
+	s.metrics.Count("serve.query."+kind, 1)
+	s.metrics.Observe("serve.latency.query_us", sinceMicros(start))
+	writeJSON(w, http.StatusOK, resp)
+}

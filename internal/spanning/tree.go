@@ -169,6 +169,12 @@ func (t *Tree) Children(v int) []int { return t.children[v] }
 // SubtreeSize returns n_T(v), the number of vertices in the subtree T_v.
 func (t *Tree) SubtreeSize(v int) int { return t.size[v] }
 
+// Interval returns v's preorder interval [lo, hi): the subtree rooted at v
+// contains exactly the vertices whose preorder time lies in the interval.
+// This is the DFS-order structure the serve layer answers interval and
+// ancestry queries from without re-running any pipeline.
+func (t *Tree) Interval(v int) (lo, hi int) { return t.tin[v], t.tout[v] }
+
 // IsAncestor reports whether a is an ancestor of v (every vertex is an
 // ancestor of itself, matching the paper's convention v ∈ T_u).
 func (t *Tree) IsAncestor(a, v int) bool {

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestMetricsSnapshotStableEncoding(t *testing.T) {
+	r := NewRecorder()
+	r.Count("b.second", 2)
+	r.Count("a.first", 1)
+	r.SetGauge("z.gauge", 9)
+	r.Observe("lat", 5)
+	r.Observe("lat", 300)
+	r.Advance(7)
+
+	s := r.MetricsSnapshot()
+	enc1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := json.Marshal(r.MetricsSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("two snapshots of an idle recorder differ:\n%s\n%s", enc1, enc2)
+	}
+	if s.Counters[0].Name != "a.first" || s.Counters[1].Name != "b.second" {
+		t.Fatalf("counters not sorted by name: %+v", s.Counters)
+	}
+	if s.Clock != 7 {
+		t.Fatalf("clock = %d, want 7", s.Clock)
+	}
+	if s.Histograms[0].Hist.N != 2 || s.Histograms[0].Mean != 152.5 {
+		t.Fatalf("histogram summary wrong: %+v", s.Histograms[0])
+	}
+}
+
+func TestMetricsSnapshotEmptySectionsAreArrays(t *testing.T) {
+	enc, err := json.Marshal(NewRecorder().MetricsSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(enc, []byte("null")) {
+		t.Fatalf("empty snapshot encodes null sections: %s", enc)
+	}
+}
+
+func TestMetricsSnapshotIsDefensiveCopy(t *testing.T) {
+	r := NewRecorder()
+	r.Count("c", 1)
+	r.Observe("h", 4)
+	s := r.MetricsSnapshot()
+
+	// Mutating the recorder after the snapshot must not change it...
+	r.Count("c", 100)
+	r.Observe("h", 1000)
+	if s.Counters[0].Value != 1 {
+		t.Fatalf("snapshot counter changed after recorder mutation: %d", s.Counters[0].Value)
+	}
+	if s.Histograms[0].Hist.N != 1 {
+		t.Fatalf("snapshot histogram changed after recorder mutation: n=%d", s.Histograms[0].Hist.N)
+	}
+	// ...and mutating the snapshot must not reach the recorder.
+	s.Histograms[0].Hist.Counts[0] = 999
+	if h := r.Histogram("h"); h.Counts[0] == 999 {
+		t.Fatal("snapshot shares histogram storage with the recorder")
+	}
+}
+
+// TestMetricsSnapshotConcurrent races scrapers against writers; run with
+// -race this asserts the snapshot path never hands shared state to readers.
+func TestMetricsSnapshotConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Count("writes", 1)
+				r.Observe("obs", 17)
+				r.SetGauge("g", 3)
+			}
+		}()
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				snap := r.MetricsSnapshot()
+				if _, err := json.Marshal(snap); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		r.Count("writes", 1)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -28,6 +28,7 @@
 package planardfs
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -41,6 +42,7 @@ import (
 	"planardfs/internal/planar"
 	"planardfs/internal/randsep"
 	"planardfs/internal/separator"
+	"planardfs/internal/serve"
 	"planardfs/internal/shortcut"
 	"planardfs/internal/spanning"
 	"planardfs/internal/trace"
@@ -372,6 +374,15 @@ func ParseFaultSpec(s string) (FaultSpec, error) { return chaos.ParseSpec(s) }
 // report's Outcome is not RecoveryFailed. A nil plan supervises a
 // fault-free run.
 func BuildDFSTreeWithRecovery(in *Instance, root int, plan *FaultPlan, pol RecoveryPolicy) ([]int, *RecoveryReport, error) {
+	return BuildDFSTreeWithRecoveryContext(context.Background(), in, root, plan, pol)
+}
+
+// BuildDFSTreeWithRecoveryContext is BuildDFSTreeWithRecovery under a
+// cancellation context: cancelling ctx stops the supervised retry loop
+// mid-flight (the terminal outcome is an error wrapping ctx.Err(), never a
+// partial result). This is the form the serve layer's job cancellation and
+// graceful shutdown run through.
+func BuildDFSTreeWithRecoveryContext(ctx context.Context, in *Instance, root int, plan *FaultPlan, pol RecoveryPolicy) ([]int, *RecoveryReport, error) {
 	g := in.G
 	opt := CertOptions{Tracer: pol.Tracer}
 	var structural chaos.Counts
@@ -400,8 +411,37 @@ func BuildDFSTreeWithRecovery(in *Instance, root int, plan *FaultPlan, pol Recov
 		Faults:  func() chaos.Counts { return structural },
 	}
 	fallback := chaos.AwerbuchDFS(g, root, plan, opt)
-	return chaos.RunWithRecovery(primary, &fallback, pol)
+	return chaos.RunWithRecoveryContext(ctx, primary, &fallback, pol)
 }
+
+// Simulation-as-a-service (internal/serve): an embeddable HTTP job server
+// that runs the separator/DFS/cert/chaos pipelines on a bounded worker
+// pool and answers repeat queries from a content-addressed decomposition
+// cache. Run standalone with cmd/planard, or mount a JobServer under any
+// http mux.
+type (
+	// JobServer is the embeddable simulation service (an http.Handler).
+	JobServer = serve.Server
+	// JobServerOptions size a JobServer (workers, queue depth, cache
+	// budget, admission limits).
+	JobServerOptions = serve.Options
+	// JobStatus is the lifecycle view of one submitted job.
+	JobStatus = serve.JobStatus
+	// JobRequest is the POST /v1/jobs submission body.
+	JobRequest = serve.JobRequest
+)
+
+// NewJobServer starts a simulation job server; stop it with Shutdown.
+func NewJobServer(opts JobServerOptions) *JobServer { return serve.New(opts) }
+
+// CanonicalGraphBytes returns the canonical byte encoding of an instance —
+// the deterministic serialization whose SHA-256 (GraphContentHash) keys
+// the serve layer's decomposition cache.
+func CanonicalGraphBytes(in *Instance) []byte { return gen.CanonicalBytes(in) }
+
+// GraphContentHash returns the content address of an instance (lowercase
+// hex SHA-256 of CanonicalGraphBytes).
+func GraphContentHash(in *Instance) string { return gen.ContentHash(in) }
 
 // RandomizedSeparator runs the sampling-estimation baseline (Ghaffari-
 // Parter style): it may fail with randsep.ErrNoCandidate or return an
