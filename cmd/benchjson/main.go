@@ -100,6 +100,9 @@ func run() error {
 	certMode := flag.Bool("cert", false, "benchmark the certification layer instead of the round engine")
 	chaosMode := flag.Bool("chaos", false, "benchmark the supervised recovery runtime instead of the round engine")
 	serveMode := flag.Bool("serve", false, "benchmark the simulation service (cold build vs cached queries) instead of the round engine")
+	scaling := flag.Bool("scaling", false, "append scaling rows: instance construction across -sizes, plus BFS runs up to -scale-bfs-max")
+	sizes := flag.String("sizes", "1000,10000,100000,1000000", "comma-separated vertex counts for -scaling rows")
+	scaleBFSMax := flag.Int("scale-bfs-max", 1000000, "largest -scaling size that also gets a BFS round-engine row")
 	flag.Parse()
 
 	if *certMode {
@@ -134,6 +137,34 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "%-4s %-12s n=%d rounds=%d msgs=%d %.2fms/op %d allocs/op\n",
 				e.Program, e.Family, e.N, e.Rounds, e.Messages,
 				float64(e.NsPerOp)/1e6, e.AllocsPerOp)
+		}
+	}
+	if *scaling {
+		for _, fam := range strings.Split(*families, ",") {
+			for _, szStr := range strings.Split(*sizes, ",") {
+				var sz int
+				if _, err := fmt.Sscanf(strings.TrimSpace(szStr), "%d", &sz); err != nil {
+					return fmt.Errorf("bad -sizes entry %q: %w", szStr, err)
+				}
+				e, err := measureConstruct(fam, sz)
+				if err != nil {
+					return fmt.Errorf("construct %s/%d: %w", fam, sz, err)
+				}
+				file.Entries = append(file.Entries, e)
+				fmt.Fprintf(os.Stderr, "%-9s %-12s n=%d %.2fms/op %d allocs/op\n",
+					e.Program, e.Family, e.N, float64(e.NsPerOp)/1e6, e.AllocsPerOp)
+				if sz > *scaleBFSMax {
+					continue
+				}
+				be, err := measure("bfs", fam, sz, *seq, *workers)
+				if err != nil {
+					return fmt.Errorf("bfs %s/%d: %w", fam, sz, err)
+				}
+				file.Entries = append(file.Entries, be)
+				fmt.Fprintf(os.Stderr, "%-9s %-12s n=%d rounds=%d %.2fms/op %d allocs/op\n",
+					be.Program, be.Family, be.N, be.Rounds,
+					float64(be.NsPerOp)/1e6, be.AllocsPerOp)
+			}
 		}
 	}
 
@@ -221,6 +252,42 @@ func measure(program, family string, n int, seq bool, workers int) (Entry, error
 		e.MessagesPerSec = float64(st.Messages) / (float64(nsPerOp) / 1e9)
 	}
 	return e, nil
+}
+
+// measureConstruct benchmarks instance construction — graph build,
+// embedding assembly, and validation — for one (family, n). With the flat
+// substrate, allocs/op is a small constant independent of n (the backing
+// arrays plus the validator's scratch), which is the scaling property the
+// committed baseline pins.
+func measureConstruct(family string, n int) (Entry, error) {
+	if _, err := gen.ByName(family, n, 1); err != nil {
+		return Entry{}, err
+	}
+	var nv, m int
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			in, err := gen.ByName(family, n, 1)
+			if err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+			nv, m = in.G.N(), in.G.M()
+		}
+	})
+	if benchErr != nil {
+		return Entry{}, benchErr
+	}
+	return Entry{
+		Program:     "construct",
+		Family:      family,
+		N:           nv,
+		M:           m,
+		NsPerOp:     res.NsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}, nil
 }
 
 // CertEntry is one (scheme, family) certification measurement. Label width

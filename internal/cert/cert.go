@@ -124,6 +124,11 @@ type certNode struct {
 	judged bool
 }
 
+// CongestEventDriven marks the program as purely message-driven: the
+// round-0 broadcast is the only spontaneous act (degree-0 vertices judge
+// immediately instead), and judging is triggered by the arriving labels.
+func (cn *certNode) CongestEventDriven() {}
+
 // Round implements congest.Node.
 func (cn *certNode) Round(round int, recv []congest.Incoming) ([]congest.Outgoing, bool) {
 	if round == 0 && cn.deg > 0 {

@@ -49,7 +49,7 @@ func ProveDFSTree(g *graph.Graph, root int, parent []int) ([][]int, error) {
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		if f.ci < len(t.Children(f.v)) {
-			c := t.Children(f.v)[f.ci]
+			c := int(t.Children(f.v)[f.ci])
 			f.ci++
 			tin[c] = timer
 			timer++

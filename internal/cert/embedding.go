@@ -33,14 +33,15 @@ func ProveEmbedding(emb *planar.Embedding) [][]int {
 	g := emb.Graph()
 	fs := emb.TraceFaces()
 	fLed := make([]int, g.N())
-	for _, cyc := range fs.Cycles {
+	for f := 0; f < fs.Count(); f++ {
+		cyc := fs.Cycle(f)
 		min := cyc[0]
 		for _, d := range cyc {
 			if d < min {
 				min = d
 			}
 		}
-		fLed[planar.Tail(g, min)]++
+		fLed[planar.Tail(g, int(min))]++
 	}
 	labels := make([][]int, g.N())
 	for v := 0; v < g.N(); v++ {

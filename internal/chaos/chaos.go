@@ -408,7 +408,7 @@ func compile(g *graph.Graph, faults []Fault) *Injector {
 			src = ed.V
 		}
 		for p, id := range g.IncidentEdges(src) {
-			if id == edge {
+			if int(id) == edge {
 				return inj.off[src] + p
 			}
 		}

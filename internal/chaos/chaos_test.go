@@ -199,7 +199,7 @@ func TestExplicitStallDelaysButStaysCorrect(t *testing.T) {
 	g := in.G
 	// Stall the only frontier message: the run must wait, then finish
 	// correctly — stalled messages block termination via Pending.
-	e := g.IncidentEdges(0)[0]
+	e := int(g.IncidentEdges(0)[0])
 	plan := &Plan{Faults: []Fault{{Kind: Stall, Edge: e, IntoV: g.EdgeByID(e).V != 0, Round: 0, Len: 4}}}
 	out, inj, rounds, err := bfsRun(t, g, plan)
 	if err != nil {
@@ -234,8 +234,8 @@ func TestExplicitLinkDownNeverSilentlyWrong(t *testing.T) {
 	// judge must reject.
 	var e = -1
 	for _, id := range g.IncidentEdges(0) {
-		if g.EdgeByID(id).Other(0) == 5 {
-			e = id
+		if g.EdgeByID(int(id)).Other(0) == 5 {
+			e = int(id)
 		}
 	}
 	if e < 0 {

@@ -34,7 +34,7 @@ type observer struct {
 func (o *observer) Crashed(round, v int) bool { return false }
 
 func (o *observer) Deliver(round, src, srcPort, dst, dstPort int, msg congest.Message) (congest.Message, congest.DeliveryFate) {
-	e := o.g.IncidentEdges(src)[srcPort]
+	e := int(o.g.IncidentEdges(src)[srcPort])
 	o.deliveries = append(o.deliveries, delivery{round: round, edge: e, intoV: o.g.EdgeByID(e).V == dst})
 	return msg, congest.FateDeliver
 }

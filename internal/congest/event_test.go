@@ -1,0 +1,182 @@
+package congest
+
+import (
+	"reflect"
+	"testing"
+
+	"planardfs/internal/gen"
+)
+
+// eventTrial runs one program family under a given schedule and returns
+// its per-vertex results plus the run statistics.
+type scheduleResult struct {
+	rounds  int
+	stats   Stats
+	results [][3]int
+}
+
+// TestEventScheduleEquivalence locks the EventDriven contract: for every
+// built-in message-driven program, the event-driven schedule (quiescent
+// nodes skipped, sender-driven delivery) must produce rounds, Stats
+// (including the RoundMessages histogram) and per-node results identical
+// to the classic schedule that steps every node every round, under both
+// the sequential and the sharded-parallel classic engines.
+func TestEventScheduleEquivalence(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		family := "sparse"
+		if trial%2 == 1 {
+			family = "stacked"
+		}
+		n := 80 + 17*trial
+		in, err := gen.ByName(family, n, int64(trial+7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := in.G
+
+		// A BFS-tree parent array for the tree-structured programs, taken
+		// from a classic-schedule run so it cannot depend on the code under
+		// test.
+		parent := make([]int, g.N())
+		{
+			nw := New(g)
+			nw.StepAll = true
+			nodes := NewBFSNodes(nw, 0)
+			if _, err := nw.Run(nodes, 4*g.N()); err != nil {
+				t.Fatal(err)
+			}
+			for v := range parent {
+				parent[v] = nodes[v].(*BFSNode).ParentID
+			}
+		}
+		value := make([]int, g.N())
+		partOf := make([]int, g.N())
+		for v := range value {
+			value[v] = (v*2654435761 + trial) % 1000
+			partOf[v] = v % (3 + trial%5)
+		}
+
+		programs := []struct {
+			name  string
+			build func(nw *Network) ([]Node, func(v int, nd Node) [3]int)
+		}{
+			{"bfs", func(nw *Network) ([]Node, func(int, Node) [3]int) {
+				return NewBFSNodes(nw, 0), func(_ int, nd Node) [3]int {
+					b := nd.(*BFSNode)
+					return [3]int{b.Dist, b.ParentID, 0}
+				}
+			}},
+			{"awerbuch", func(nw *Network) ([]Node, func(int, Node) [3]int) {
+				return NewAwerbuchNodes(nw, 0), func(_ int, nd Node) [3]int {
+					a := nd.(*AwerbuchNode)
+					return [3]int{a.Depth, a.ParentID, 0}
+				}
+			}},
+			{"convergecast", func(nw *Network) ([]Node, func(int, Node) [3]int) {
+				return NewConvergecastNodes(nw, parent, 0, value, OpSum), func(_ int, nd Node) [3]int {
+					return [3]int{nd.(*ConvergecastNode).Subtree, 0, 0}
+				}
+			}},
+			{"ancestorsum", func(nw *Network) ([]Node, func(int, Node) [3]int) {
+				return NewAncestorSumNodes(nw, parent, 0, value, OpSum), func(_ int, nd Node) [3]int {
+					return [3]int{nd.(*AncestorSumNode).Prefix, 0, 0}
+				}
+			}},
+			{"broadcast", func(nw *Network) ([]Node, func(int, Node) [3]int) {
+				return NewBroadcastNodes(nw, parent, 0, 42+trial), func(_ int, nd Node) [3]int {
+					c := nd.(*CastNode)
+					has := 0
+					if c.Has {
+						has = 1
+					}
+					return [3]int{c.Value, has, 0}
+				}
+			}},
+			{"pa", func(nw *Network) ([]Node, func(int, Node) [3]int) {
+				return NewPANodes(nw, parent, 0, partOf, value, OpMin), func(_ int, nd Node) [3]int {
+					p := nd.(*PANode)
+					has := 0
+					if p.HasResult {
+						has = 1
+					}
+					return [3]int{p.Result, has, 0}
+				}
+			}},
+		}
+
+		for _, prog := range programs {
+			run := func(stepAll, parallel bool, workers int) scheduleResult {
+				nw := New(g)
+				nw.StepAll = stepAll
+				nw.Parallel = parallel
+				nw.Workers = workers
+				nodes, extract := prog.build(nw)
+				rounds, err := nw.Run(nodes, 16*g.N())
+				if err != nil {
+					t.Fatalf("trial %d %s stepAll=%v: %v", trial, prog.name, stepAll, err)
+				}
+				res := make([][3]int, len(nodes))
+				for v, nd := range nodes {
+					res[v] = extract(v, nd)
+				}
+				return scheduleResult{rounds, nw.Stats(), res}
+			}
+			event := run(false, false, 0)
+			classicSeq := run(true, false, 0)
+			classicPar := run(true, true, 3+trial%4)
+			for _, classic := range []struct {
+				name string
+				r    scheduleResult
+			}{{"sequential", classicSeq}, {"parallel", classicPar}} {
+				if event.rounds != classic.r.rounds {
+					t.Fatalf("trial %d %s: event rounds %d != classic %s %d",
+						trial, prog.name, event.rounds, classic.name, classic.r.rounds)
+				}
+				if !reflect.DeepEqual(event.stats, classic.r.stats) {
+					t.Fatalf("trial %d %s: stats diverge from classic %s\nevent:   %+v\nclassic: %+v",
+						trial, prog.name, classic.name, event.stats, classic.r.stats)
+				}
+				if !reflect.DeepEqual(event.results, classic.r.results) {
+					t.Fatalf("trial %d %s: results diverge from classic %s", trial, prog.name, classic.name)
+				}
+			}
+		}
+	}
+}
+
+// TestEventScheduleSelected pins the eligibility rule: all-EventDriven
+// programs select the event schedule, and a single non-marker node, an
+// injector, or the StepAll override fall back to the classic schedule.
+func TestEventScheduleSelected(t *testing.T) {
+	in, err := gen.ByName("sparse", 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := in.G
+	build := func(nw *Network) []Node { return NewBFSNodes(nw, 0) }
+
+	nw := New(g)
+	nodes := build(nw)
+	e := newEngine(nw, nodes)
+	if !e.event {
+		t.Fatal("all-EventDriven run did not select the event schedule")
+	}
+	e.stop()
+
+	nw = New(g)
+	nw.StepAll = true
+	e = newEngine(nw, build(nw))
+	if e.event {
+		t.Fatal("StepAll run selected the event schedule")
+	}
+	e.stop()
+
+	nw = New(g)
+	nodes = build(nw)
+	nodes[7] = &chatterNode{deg: g.Degree(7), stopRound: 0}
+	e = newEngine(nw, nodes)
+	if e.event {
+		t.Fatal("run with a non-EventDriven node selected the event schedule")
+	}
+	e.stop()
+}

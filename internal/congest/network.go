@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"planardfs/internal/graph"
@@ -61,6 +62,22 @@ type Outgoing struct {
 // that retains messages beyond the current Round call must copy them.
 type Node interface {
 	Round(round int, recv []Incoming) (send []Outgoing, done bool)
+}
+
+// EventDriven is an optional marker for Node programs that are purely
+// message-driven: after round 0, a step in which the node receives no
+// messages and emits none must leave its state (and its done report)
+// unchanged until the next message arrives. When every node of a run
+// implements the marker and no Injector is attached, the engine skips
+// quiescent nodes entirely, so the simulation costs O(messages + n)
+// instead of O(n × rounds) — the difference between hours and seconds for
+// deep convergecasts on million-vertex graphs. Round-scheduled programs
+// that act spontaneously at fixed round offsets (e.g. BoruvkaNode) must
+// not implement it.
+type EventDriven interface {
+	Node
+	// CongestEventDriven is a marker only; it is never called.
+	CongestEventDriven()
 }
 
 // NodeInfo is the local knowledge every CONGEST node starts with: its own
@@ -109,6 +126,11 @@ type Network struct {
 	// phase); nil disables injection with no hook overhead. See inject.go
 	// for the determinism/concurrency contract.
 	Injector Injector
+	// StepAll forces the classic schedule that steps every node every
+	// round, even when all programs implement EventDriven. Results are
+	// bit-identical either way (the equivalence tests enforce this); the
+	// flag exists for those tests and as an escape hatch.
+	StepAll bool
 
 	stats Stats
 }
@@ -224,6 +246,16 @@ type engine struct {
 	shards []shardStats
 	start  []chan struct{} // nil when sequential
 	wg     sync.WaitGroup
+
+	// Event-driven scheduler state (see EventDriven); unused when the
+	// classic every-node-every-round schedule is in effect.
+	event     bool
+	peer      []int32 // peer[off[v]+p]: vertex at the far end of port p
+	rport     []int32 // rport[off[v]+p]: that vertex's receiving port
+	evStamp   []int   // round the vertex was last queued for (-1 = never)
+	evActive  []int32
+	evNext    []int32
+	evSenders []int32
 }
 
 func newEngine(nw *Network, nodes []Node) *engine {
@@ -252,7 +284,7 @@ func newEngine(nw *Network, nodes []Node) *engine {
 	portAtV := make([]int, g.M())
 	for v := 0; v < n; v++ {
 		for p, id := range g.IncidentEdges(v) {
-			if g.EdgeByID(id).U == v {
+			if u, _ := g.EndpointsOf(int(id)); u == int32(v) {
 				portAtU[id] = p
 			} else {
 				portAtV[id] = p
@@ -266,7 +298,7 @@ func newEngine(nw *Network, nodes []Node) *engine {
 	copy(cursor, e.off[:n])
 	for u := 0; u < n; u++ {
 		for up, id := range g.IncidentEdges(u) {
-			ed := g.EdgeByID(id)
+			ed := g.EdgeByID(int(id))
 			w := ed.Other(u)
 			rp := portAtU[id]
 			if ed.U != w {
@@ -282,6 +314,43 @@ func newEngine(nw *Network, nodes []Node) *engine {
 	e.outboxes = make([][]Outgoing, n)
 	e.dones = make([]bool, n)
 	e.errs = make([]error, n)
+
+	// The event-driven schedule applies only when every program has opted
+	// in via the EventDriven marker and no injector is attached (crashes
+	// and stall releases are round-scheduled externally, so every node
+	// must be driven every round under injection).
+	if nw.Injector == nil && !nw.StepAll {
+		e.event = true
+		for _, nd := range nodes {
+			if _, ok := nd.(EventDriven); !ok {
+				e.event = false
+				break
+			}
+		}
+	}
+	if e.event {
+		// Sender-side routing: invert the delivery table so a sender can
+		// push its pending messages without scanning idle receivers.
+		e.peer = make([]int32, ports)
+		e.rport = make([]int32, ports)
+		for w := 0; w < n; w++ {
+			for k := e.off[w]; k < e.off[w+1]; k++ {
+				d := e.deliv[k]
+				sf := e.off[d.src] + int(d.srcPort)
+				e.peer[sf] = int32(w)
+				e.rport[sf] = d.recvPort
+			}
+		}
+		e.evStamp = make([]int, n)
+		for i := range e.evStamp {
+			e.evStamp[i] = -1
+		}
+		e.evActive = make([]int32, 0, n)
+		e.evNext = make([]int32, 0, n)
+		e.evSenders = make([]int32, 0, n)
+		e.shards = make([]shardStats, 1)
+		return e
+	}
 
 	workers := nw.Workers
 	if workers <= 0 {
@@ -450,6 +519,9 @@ func (e *engine) run(maxRounds int) (int, error) {
 	nw := e.nw
 	tr := trace.OrNop(nw.Tracer)
 	traced := tr.Enabled()
+	if e.event {
+		return e.runEvent(maxRounds, tr, traced)
+	}
 
 	for e.round = 0; ; e.round++ {
 		if e.round >= maxRounds {
@@ -475,28 +547,7 @@ func (e *engine) run(maxRounds int) (int, error) {
 				roundCong = s.maxCong
 			}
 		}
-		nw.stats.Messages += roundMsgs
-		nw.stats.Words += roundWords
-		if roundCong > nw.stats.MaxEdgeCongestion {
-			nw.stats.MaxEdgeCongestion = roundCong
-		}
-		if roundWords > nw.stats.MaxRoundWords {
-			nw.stats.MaxRoundWords = roundWords
-		}
-		nw.stats.RoundMessages = append(nw.stats.RoundMessages, roundMsgs)
-		nw.stats.Rounds = e.round + 1
-		if traced {
-			sp := tr.StartSpan(trace.LayerNetwork, "round")
-			sp.SetAttr("msgs", roundMsgs)
-			sp.SetAttr("words", roundWords)
-			tr.Advance(1)
-			sp.End()
-			tr.Count("congest.rounds", 1)
-			tr.Count("congest.messages", roundMsgs)
-			tr.Count("congest.words", roundWords)
-			tr.Observe("congest.msgs_per_round", roundMsgs)
-			tr.Sample("congest.msgs_per_round", roundMsgs)
-		}
+		e.accountRound(roundMsgs, roundWords, roundCong, tr, traced)
 
 		e.inboxCur, e.inboxNxt = e.inboxNxt, e.inboxCur
 
@@ -514,8 +565,42 @@ func (e *engine) run(maxRounds int) (int, error) {
 		}
 	}
 
-	// Fold the per-port delivery counts into per-edge loads (each edge is
-	// the sum of its two directions).
+	return e.finishRun(tr, traced)
+}
+
+// accountRound folds one round's delivery totals into the run statistics
+// and emits the per-round trace span; it is shared by both schedules so
+// traces and stats are byte-identical across them.
+func (e *engine) accountRound(roundMsgs, roundWords, roundCong int64, tr trace.Tracer, traced bool) {
+	nw := e.nw
+	nw.stats.Messages += roundMsgs
+	nw.stats.Words += roundWords
+	if roundCong > nw.stats.MaxEdgeCongestion {
+		nw.stats.MaxEdgeCongestion = roundCong
+	}
+	if roundWords > nw.stats.MaxRoundWords {
+		nw.stats.MaxRoundWords = roundWords
+	}
+	nw.stats.RoundMessages = append(nw.stats.RoundMessages, roundMsgs)
+	nw.stats.Rounds = e.round + 1
+	if traced {
+		sp := tr.StartSpan(trace.LayerNetwork, "round")
+		sp.SetAttr("msgs", roundMsgs)
+		sp.SetAttr("words", roundWords)
+		tr.Advance(1)
+		sp.End()
+		tr.Count("congest.rounds", 1)
+		tr.Count("congest.messages", roundMsgs)
+		tr.Count("congest.words", roundWords)
+		tr.Observe("congest.msgs_per_round", roundMsgs)
+		tr.Sample("congest.msgs_per_round", roundMsgs)
+	}
+}
+
+// finishRun folds the per-port delivery counts into per-edge loads (each
+// edge is the sum of its two directions) and emits the end-of-run gauges.
+func (e *engine) finishRun(tr trace.Tracer, traced bool) (int, error) {
+	nw := e.nw
 	g := nw.G
 	edgeLoad := make([]int64, g.M())
 	for v := 0; v < e.n; v++ {
@@ -536,4 +621,96 @@ func (e *engine) run(maxRounds int) (int, error) {
 		tr.SetGauge("congest.max_edge_load", nw.stats.MaxEdgeLoad)
 	}
 	return nw.stats.Rounds, nil
+}
+
+// runEvent is the event-driven schedule: only nodes that received a
+// message this round (or sent one last round, so streamed follow-ups like
+// end markers still fire) are stepped; everything else is provably
+// quiescent under the EventDriven contract. Delivery is sender-driven —
+// iterating the round's senders in ascending order lays each receiver's
+// inbox out in ascending (sender, sender-port) order, byte-identical to
+// the receiver-driven scan of the classic schedule.
+func (e *engine) runEvent(maxRounds int, tr trace.Tracer, traced bool) (int, error) {
+	active := e.evActive[:0]
+	for v := 0; v < e.n; v++ {
+		active = append(active, int32(v))
+	}
+	next := e.evNext[:0]
+	notDone := e.n
+
+	for e.round = 0; ; e.round++ {
+		if e.round >= maxRounds {
+			return e.round, &RoundLimitError{Limit: maxRounds}
+		}
+
+		// Step phase over the active set (ascending, so the first protocol
+		// error by vertex order wins, as in the classic schedule).
+		senders := e.evSenders[:0]
+		for _, v32 := range active {
+			v := int(v32)
+			wasDone := e.dones[v]
+			e.step(v)
+			if e.errs[v] != nil {
+				return e.round, e.errs[v]
+			}
+			if e.dones[v] != wasDone {
+				if e.dones[v] {
+					notDone--
+				} else {
+					notDone++
+				}
+			}
+			e.inboxCur[v] = e.inboxCur[v][:0]
+			if len(e.outboxes[v]) > 0 {
+				senders = append(senders, v32)
+			}
+		}
+
+		// Delivery phase: push each sender's stamped ports to the peers.
+		var roundMsgs, roundWords, roundCong int64
+		next = next[:0]
+		for _, u32 := range senders {
+			u := int(u32)
+			if e.evStamp[u] != e.round {
+				e.evStamp[u] = e.round
+				next = append(next, u32)
+			}
+			base := e.off[u]
+			deg := e.off[u+1] - base
+			for p := 0; p < deg; p++ {
+				fp := base + p
+				if e.portEpoch[fp] != e.round {
+					continue
+				}
+				w := int(e.peer[fp])
+				rp := int(e.rport[fp])
+				msg := e.outboxes[u][e.portMsg[fp]].Msg
+				e.inboxCur[w] = append(e.inboxCur[w], Incoming{Port: rp, Msg: msg})
+				if e.evStamp[w] != e.round {
+					e.evStamp[w] = e.round
+					next = append(next, int32(w))
+				}
+				roundMsgs++
+				roundWords += int64(msg.Words())
+				wp := e.off[w] + rp
+				e.portLoad[wp]++
+				if e.portEpoch[wp] == e.round {
+					roundCong = 2
+				} else if roundCong < 1 {
+					roundCong = 1
+				}
+			}
+		}
+		slices.Sort(next)
+
+		e.accountRound(roundMsgs, roundWords, roundCong, tr, traced)
+
+		if roundMsgs == 0 && notDone == 0 {
+			break
+		}
+		active, next = next, active
+	}
+
+	e.evActive, e.evNext = active, next
+	return e.finishRun(tr, traced)
 }

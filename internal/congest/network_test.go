@@ -130,7 +130,7 @@ func TestInfoContents(t *testing.T) {
 		t.Fatal("neighbour count wrong")
 	}
 	for p, w := range info.Neighbors {
-		id := g.IncidentEdges(0)[p]
+		id := int(g.IncidentEdges(0)[p])
 		if g.EdgeByID(id).Other(0) != w {
 			t.Fatal("port order inconsistent with incident edges")
 		}

@@ -125,13 +125,13 @@ func BuildTraced(g *graph.Graph, emb *planar.Embedding, outerDart, root int, tra
 // remainingComponents lists the connected components of G minus the partial
 // tree, each sorted ascending, ordered by smallest vertex.
 func remainingComponents(g *graph.Graph, pt *PartialTree) [][]int {
-	removed := map[int]bool{}
+	removed := make([]bool, g.N())
 	for v := 0; v < g.N(); v++ {
 		if pt.Has(v) {
 			removed[v] = true
 		}
 	}
-	comps := g.ComponentsAvoiding(removed)
+	comps := g.ComponentsAvoidingMask(removed)
 	for _, c := range comps {
 		sort.Ints(c)
 	}

@@ -20,6 +20,37 @@ type JoinStats struct {
 	Remaining []int
 }
 
+// joinScratch holds the flat per-vertex state of one JOIN-PROBLEM. All
+// arrays are sized n and allocated once per invocation; the epoch-stamped
+// ones (seen/vis/set) are reset in O(1) between sub-phases and components
+// by bumping the epoch instead of clearing.
+type joinScratch struct {
+	inComp  []bool
+	missing []bool
+	seenEp  []int32 // componentsWithin visitation
+	visEp   []int32 // dist/parent valid
+	setEp   []int32 // settled in the 0/1 BFS
+	parent  []int32
+	dist    []int32
+	cnt     []int32 // separator vertices on the root path
+	epoch   int32
+	queue   []int32 // componentsWithin BFS queue, reused
+	order   []int32 // 0/1 BFS settle order, reused
+}
+
+func newJoinScratch(n int) *joinScratch {
+	return &joinScratch{
+		inComp:  make([]bool, n),
+		missing: make([]bool, n),
+		seenEp:  make([]int32, n),
+		visEp:   make([]int32, n),
+		setEp:   make([]int32, n),
+		parent:  make([]int32, n),
+		dist:    make([]int32, n),
+		cnt:     make([]int32, n),
+	}
+}
+
 // JoinSeparator adds every vertex of the separator set (a subset of the
 // component comp of G - T_d) to the partial tree following the DFS-RULE
 // (Lemma 2). In each sub-phase, every remaining component that still holds
@@ -36,32 +67,35 @@ func JoinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int) (*Joi
 // the two PA problems of the DFS-RULE, and marking the attached path)
 // and records the remaining separator count.
 func joinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int, m *dist.Meter) (*JoinStats, error) {
-	inComp := make(map[int]bool, len(comp))
+	sc := newJoinScratch(g.N())
 	for _, v := range comp {
 		if pt.Has(v) {
 			return nil, fmt.Errorf("dfs: component vertex %d already added", v)
 		}
-		inComp[v] = true
+		sc.inComp[v] = true
 	}
-	missing := map[int]bool{}
+	missingCnt := 0
 	for _, v := range sep {
-		if !inComp[v] {
+		if !sc.inComp[v] {
 			return nil, fmt.Errorf("dfs: separator vertex %d outside component", v)
 		}
-		missing[v] = true
+		if !sc.missing[v] {
+			sc.missing[v] = true
+			missingCnt++
+		}
 	}
-	st := &JoinStats{Remaining: []int{len(missing)}}
+	st := &JoinStats{Remaining: []int{missingCnt}}
 	var joinSpan trace.Span
 	if m.On() {
 		joinSpan = m.Start(trace.LayerDFS, "join.problem")
 		joinSpan.SetAttr("component", int64(len(comp)))
-		joinSpan.SetAttr("separator", int64(len(missing)))
+		joinSpan.SetAttr("separator", int64(missingCnt))
 		defer func() {
 			joinSpan.SetAttr("subphases", int64(st.SubPhases))
 			joinSpan.End()
 		}()
 	}
-	for len(missing) > 0 {
+	for missingCnt > 0 {
 		st.SubPhases++
 		if st.SubPhases > g.N()+2 {
 			return nil, fmt.Errorf("dfs: join did not converge")
@@ -70,13 +104,13 @@ func joinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int, m *di
 		if m.On() {
 			subSpan = m.Start(trace.LayerDFS, "join.subphase")
 			subSpan.SetAttr("subphase", int64(st.SubPhases))
-			subSpan.SetAttr("remaining", int64(len(missing)))
+			subSpan.SetAttr("remaining", int64(missingCnt))
 		}
 		// Components of the not-yet-added part of comp.
-		for _, x := range componentsWithin(g, inComp, pt) {
+		for _, x := range componentsWithin(g, sc, pt) {
 			holds := false
 			for _, v := range x {
-				if missing[v] {
+				if sc.missing[v] {
 					holds = true
 					break
 				}
@@ -84,18 +118,22 @@ func joinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int, m *di
 			if !holds {
 				continue
 			}
-			if err := attachBestPath(g, pt, x, missing); err != nil {
+			if err := attachBestPath(g, pt, x, sc); err != nil {
 				return nil, err
 			}
 		}
 		cnt := 0
-		for v := range missing { //planarvet:orderinvariant per-key delete plus commutative count; no order reaches output
+		for _, v := range comp {
+			if !sc.missing[v] {
+				continue
+			}
 			if pt.Has(v) {
-				delete(missing, v)
+				sc.missing[v] = false
 			} else {
 				cnt++
 			}
 		}
+		missingCnt = cnt
 		st.Remaining = append(st.Remaining, cnt)
 		if m.On() {
 			// The Lemma 2 sub-phase budget: every open component runs these
@@ -115,30 +153,27 @@ func joinSeparator(g *graph.Graph, pt *PartialTree, comp []int, sep []int, m *di
 }
 
 // componentsWithin returns the connected components of the not-yet-added
-// vertices of the component set, each sorted ascending.
-func componentsWithin(g *graph.Graph, inComp map[int]bool, pt *PartialTree) [][]int {
-	seen := map[int]bool{}
-	var order []int
-	for v := range inComp { //planarvet:orderinvariant keys are sorted before use
-		order = append(order, v)
-	}
-	sort.Ints(order)
+// vertices of the component set, each sorted ascending. Roots are scanned
+// in ascending vertex order, so the component order is deterministic.
+func componentsWithin(g *graph.Graph, sc *joinScratch, pt *PartialTree) [][]int {
+	sc.epoch++
+	ep := sc.epoch
 	var comps [][]int
-	for _, v := range order {
-		if seen[v] || pt.Has(v) {
+	for v := 0; v < g.N(); v++ {
+		if !sc.inComp[v] || sc.seenEp[v] == ep || pt.Has(v) {
 			continue
 		}
 		var comp []int
-		queue := []int{v}
-		seen[v] = true
-		for len(queue) > 0 {
-			x := queue[0]
-			queue = queue[1:]
+		sc.queue = append(sc.queue[:0], int32(v))
+		sc.seenEp[v] = ep
+		for qi := 0; qi < len(sc.queue); qi++ {
+			x := int(sc.queue[qi])
 			comp = append(comp, x)
-			for _, w := range g.Neighbors(x) {
-				if inComp[w] && !seen[w] && !pt.Has(w) {
-					seen[w] = true
-					queue = append(queue, w)
+			for _, id := range g.IncidentEdges(x) {
+				w := g.Other(int(id), x)
+				if sc.inComp[w] && sc.seenEp[w] != ep && !pt.Has(w) {
+					sc.seenEp[w] = ep
+					sc.queue = append(sc.queue, int32(w))
 				}
 			}
 		}
@@ -153,76 +188,85 @@ func componentsWithin(g *graph.Graph, inComp map[int]bool, pt *PartialTree) [][]
 // shortest-path tree standing in for the paper's 0/1-weight MST), finds the
 // separator vertex whose root path carries the most separator vertices
 // (an ANCESTOR-SUM in the distributed accounting), and attaches that path.
-func attachBestPath(g *graph.Graph, pt *PartialTree, x []int, missing map[int]bool) error {
+func attachBestPath(g *graph.Graph, pt *PartialTree, x []int, sc *joinScratch) error {
 	entry, anchor := pt.DeepestNeighborIn(g, x)
 	if entry < 0 {
 		return fmt.Errorf("dfs: component has no neighbour in the partial tree")
 	}
-	inX := make(map[int]bool, len(x))
+	sc.epoch++
+	ep := sc.epoch
+	// seenEp doubles as x-membership here (it is idle between
+	// componentsWithin calls, and each call takes a fresh epoch).
 	for _, v := range x {
-		inX[v] = true
+		sc.seenEp[v] = ep
 	}
-	// 0/1 BFS from entry: separator-separator edges cost 0.
-	parent := map[int]int{entry: -1}
-	dist := map[int]int{entry: 0}
-	settled := map[int]bool{}
-	deque := []int{entry}
-	for len(deque) > 0 {
-		v := deque[0]
-		deque = deque[1:]
-		if settled[v] {
+	// 0/1 BFS from entry: separator-separator edges cost 0. The deque lives
+	// in a buffer with front/back cursors; each relaxation pushes once, so
+	// 2m slots on each side suffice.
+	relaxCap := 1
+	for _, v := range x {
+		relaxCap += g.Degree(v)
+	}
+	buf := make([]int32, 2*relaxCap)
+	f, b := relaxCap, relaxCap // [f, b) is the live deque
+	buf[b] = int32(entry)
+	b++
+	sc.visEp[entry] = ep
+	sc.parent[entry] = -1
+	sc.dist[entry] = 0
+	sc.order = sc.order[:0]
+	for f < b {
+		v := int(buf[f])
+		f++
+		if sc.setEp[v] == ep {
 			continue
 		}
-		settled[v] = true
-		for _, w := range g.Neighbors(v) {
-			if !inX[w] || settled[w] {
+		sc.setEp[v] = ep
+		sc.order = append(sc.order, int32(v))
+		for _, id := range g.IncidentEdges(v) {
+			w := g.Other(int(id), v)
+			if sc.seenEp[w] != ep || sc.setEp[w] == ep {
 				continue
 			}
-			cost := 1
-			if missing[v] && missing[w] {
+			cost := int32(1)
+			if sc.missing[v] && sc.missing[w] {
 				cost = 0
 			}
-			d := dist[v] + cost
-			if old, ok := dist[w]; !ok || d < old {
-				dist[w] = d
-				parent[w] = v
+			d := sc.dist[v] + cost
+			if sc.visEp[w] != ep || d < sc.dist[w] {
+				sc.visEp[w] = ep
+				sc.dist[w] = d
+				sc.parent[w] = int32(v)
 				if cost == 0 {
-					deque = append([]int{w}, deque...)
+					f--
+					buf[f] = int32(w)
 				} else {
-					deque = append(deque, w)
+					buf[b] = int32(w)
+					b++
 				}
 			}
 		}
 	}
-	// Count separator vertices on each root path (an ancestor sum) and pick
-	// the best target.
-	children := map[int][]int{}
-	for _, v := range x {
-		if p, ok := parent[v]; ok && p != -1 {
-			children[p] = append(children[p], v)
+	// Count separator vertices on each root path (an ancestor sum): in the
+	// 0/1 BFS, parent[w] is always settled before w, so the settle order is
+	// a valid top-down sweep.
+	for _, v32 := range sc.order {
+		v := int(v32)
+		var c int32
+		if p := sc.parent[v]; p != -1 {
+			c = sc.cnt[p]
 		}
-	}
-	cnt := map[int]int{}
-	stack := []int{entry}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		c := 0
-		if p := parent[v]; p != -1 {
-			c = cnt[p]
-		}
-		if missing[v] {
+		if sc.missing[v] {
 			c++
 		}
-		cnt[v] = c
-		stack = append(stack, children[v]...)
+		sc.cnt[v] = c
 	}
-	best, bestCnt := -1, 0
+	best, bestCnt := -1, int32(0)
 	for _, v := range x {
-		if !missing[v] {
+		if !sc.missing[v] || sc.setEp[v] != ep {
 			continue
 		}
-		if c := cnt[v]; c > bestCnt || (c == bestCnt && (best < 0 || v < best)) {
+		if c := sc.cnt[v]; c > bestCnt || (c == bestCnt && (best < 0 || v < best)) {
 			best, bestCnt = v, c
 		}
 	}
@@ -231,7 +275,7 @@ func attachBestPath(g *graph.Graph, pt *PartialTree, x []int, missing map[int]bo
 	}
 	// The path entry..best, in attach order.
 	var path []int
-	for v := best; v != -1; v = parent[v] {
+	for v := best; v != -1; v = int(sc.parent[v]) {
 		path = append(path, v)
 	}
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {

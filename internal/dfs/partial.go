@@ -85,7 +85,8 @@ func (pt *PartialTree) DeepestNeighborIn(g *graph.Graph, cands []int) (vertex, a
 	vertex, anchor = -1, -1
 	bestDepth := -1
 	for _, v := range cands {
-		for _, w := range g.Neighbors(v) {
+		for _, id := range g.IncidentEdges(v) {
+			w := g.Other(int(id), v)
 			if !pt.Has(w) {
 				continue
 			}

@@ -66,7 +66,10 @@ func randomTreeWithOrder(seed int64, n int) (*spanning.Tree, [][]int) {
 	}
 	order := make([][]int, n)
 	for v := 0; v < n; v++ {
-		cs := append([]int(nil), t.Children(v)...)
+		cs := make([]int, 0, len(t.Children(v)))
+		for _, c := range t.Children(v) {
+			cs = append(cs, int(c))
+		}
 		rng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
 		order[v] = cs
 	}
@@ -107,7 +110,9 @@ func TestDFSOrderPhasesOnDeepTree(t *testing.T) {
 	tree, _ := spanning.NewFromParents(0, parent)
 	order := make([][]int, n)
 	for v := 0; v < n; v++ {
-		order[v] = tree.Children(v)
+		for _, c := range tree.Children(v) {
+			order[v] = append(order[v], int(c))
+		}
 	}
 	res := DFSOrderDistributed(tree, order)
 	if res.Phases < 8 || res.Phases > 14 {

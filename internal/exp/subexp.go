@@ -189,7 +189,7 @@ func dfsSegments(tr *spanning.Tree, k int) []int {
 		order = append(order, v)
 		cs := tr.Children(v)
 		for i := len(cs) - 1; i >= 0; i-- {
-			stack = append(stack, cs[i])
+			stack = append(stack, int(cs[i]))
 		}
 	}
 	cnt := make([]int, n)

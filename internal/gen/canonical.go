@@ -41,15 +41,24 @@ func CanonicalBytes(in *Instance) []byte {
 	buf = binary.AppendUvarint(buf, uint64(g.N()))
 	buf = binary.AppendUvarint(buf, uint64(g.M()))
 	for e := 0; e < g.M(); e++ {
-		ed := g.EdgeByID(e)
-		buf = binary.AppendUvarint(buf, uint64(ed.U))
-		buf = binary.AppendUvarint(buf, uint64(ed.V))
+		u, v := g.EndpointsOf(e)
+		buf = binary.AppendUvarint(buf, uint64(u))
+		buf = binary.AppendUvarint(buf, uint64(v))
 	}
+	// Rotations are walked directly off the flat embedding arrays; the byte
+	// stream is identical to encoding NeighborOrder(v) per vertex.
 	for v := 0; v < g.N(); v++ {
-		order := in.Emb.NeighborOrder(v)
-		buf = binary.AppendUvarint(buf, uint64(len(order)))
-		for _, w := range order {
-			buf = binary.AppendUvarint(buf, uint64(w))
+		buf = binary.AppendUvarint(buf, uint64(g.Degree(v)))
+		d0 := in.Emb.FirstDart(v)
+		if d0 < 0 {
+			continue
+		}
+		for d := d0; ; {
+			buf = binary.AppendUvarint(buf, uint64(in.Emb.HeadOf(d)))
+			d = in.Emb.NextCW(d)
+			if d == d0 {
+				break
+			}
 		}
 	}
 	buf = binary.AppendUvarint(buf, uint64(in.OuterDart))

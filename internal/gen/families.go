@@ -13,9 +13,16 @@ var Families = []string{
 
 // ByName builds an instance of roughly n vertices from the named family,
 // deterministically in seed (seed is ignored by deterministic families).
+//
+// Size contract: every family either returns a clean error mentioning the
+// requested n, or an instance with |V| within one grid row of n (exactly n
+// for the non-grid families except grid itself, whose side is rounded).
 func ByName(family string, n int, seed int64) (*Instance, error) {
 	switch family {
 	case "grid":
+		if n < 4 {
+			return nil, fmt.Errorf("gen: grid family needs n >= 4, got %d", n)
+		}
 		side := int(math.Round(math.Sqrt(float64(n))))
 		if side < 2 {
 			side = 2
@@ -23,13 +30,22 @@ func ByName(family string, n int, seed int64) (*Instance, error) {
 		return Grid(side, side)
 	case "cylinderish":
 		// A wide, shallow grid: large n with small-ish diameter spread.
+		if n < 4 {
+			return nil, fmt.Errorf("gen: cylinderish family needs n >= 4, got %d", n)
+		}
 		w := int(math.Round(math.Sqrt(float64(n) * 4)))
 		if w < 2 {
 			w = 2
 		}
-		h := n / w
+		h := int(math.Round(float64(n) / float64(w)))
 		if h < 2 {
+			// Too few vertices for the wide aspect: fall back to two rows
+			// sized so that |V| = 2w stays within one row of n.
 			h = 2
+			w = int(math.Round(float64(n) / 2))
+			if w < 2 {
+				w = 2
+			}
 		}
 		return Grid(w, h)
 	case "stacked":
@@ -41,6 +57,11 @@ func ByName(family string, n int, seed int64) (*Instance, error) {
 	case "cycle":
 		return Cycle(n)
 	case "wheel":
+		// The rim has n-1 vertices plus the hub, so the total is the
+		// requested n; report size errors in terms of n, not the rim.
+		if n < 4 {
+			return nil, fmt.Errorf("gen: wheel family needs n >= 4, got %d", n)
+		}
 		return Wheel(n - 1)
 	case "fan":
 		return Fan(n)

@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// exactFamilies are the families whose size contract is |V| == n exactly
+// (ByName documents grid and cylinderish as the only rounded ones).
+var exactFamilies = map[string]bool{
+	"stacked": true, "sparse": true, "polygon": true, "cycle": true,
+	"wheel": true, "fan": true, "tree": true, "path": true,
+	"caterpillar": true,
+}
+
+// byNameNoPanic calls ByName and converts any panic into a test failure
+// with the offending family and size.
+func byNameNoPanic(t *testing.T, family string, n int) (inst *Instance, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("ByName(%q, %d, 1) panicked: %v", family, n, r)
+		}
+	}()
+	return ByName(family, n, 1)
+}
+
+// TestFamiliesSmallN sweeps every family over tiny sizes: each call must
+// either return a clean "gen:"-prefixed error naming the requested n, or an
+// instance whose size satisfies the documented contract. Nothing may panic.
+func TestFamiliesSmallN(t *testing.T) {
+	for _, fam := range Families {
+		for n := 0; n <= 8; n++ {
+			inst, err := byNameNoPanic(t, fam, n)
+			if err != nil {
+				if !strings.HasPrefix(err.Error(), "gen: ") {
+					t.Errorf("%s/%d: error %q lacks the gen: prefix", fam, n, err)
+				}
+				if !strings.Contains(err.Error(), fmt.Sprintf("%d", n)) {
+					t.Errorf("%s/%d: error %q does not mention the requested size", fam, n, err)
+				}
+				continue
+			}
+			got := inst.G.N()
+			if exactFamilies[fam] {
+				if got != n {
+					t.Errorf("%s/%d: |V| = %d, want exactly n", fam, n, got)
+				}
+				continue
+			}
+			// grid and cylinderish round to a w×h lattice; the contract is
+			// |V| within one row of n, and no row is wider than ~2√n.
+			row := int(math.Ceil(math.Sqrt(float64(n)*4))) + 1
+			if diff := got - n; diff < -row || diff > row {
+				t.Errorf("%s/%d: |V| = %d, off by more than one row (%d)", fam, n, got, row)
+			}
+		}
+	}
+}
+
+// TestFamilyGoldenSizes pins exact instance sizes for the two rounded
+// families at representative n, so that the rounding rules cannot drift
+// silently (the cylinderish two-row fallback in particular).
+func TestFamilyGoldenSizes(t *testing.T) {
+	golden := []struct {
+		family string
+		n      int
+		want   int
+	}{
+		{"wheel", 4, 4},
+		{"wheel", 10, 10},
+		{"wheel", 101, 101},
+		{"cylinderish", 4, 4},
+		{"cylinderish", 10, 12},
+		{"cylinderish", 100, 100},
+		{"cylinderish", 1000, 1008},
+		{"grid", 10, 9},
+		{"grid", 100, 100},
+	}
+	for _, tc := range golden {
+		inst, err := ByName(tc.family, tc.n, 7)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", tc.family, tc.n, err)
+		}
+		if got := inst.G.N(); got != tc.want {
+			t.Errorf("%s/%d: |V| = %d, want %d", tc.family, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestWheelErrorMentionsRequestedN regression-tests the ByName wheel guard:
+// the error must be phrased in the caller's n, not the internal rim size.
+func TestWheelErrorMentionsRequestedN(t *testing.T) {
+	_, err := ByName("wheel", 3, 0)
+	if err == nil {
+		t.Fatal("wheel with n=3 should fail (rim would have 2 vertices)")
+	}
+	want := "gen: wheel family needs n >= 4, got 3"
+	if err.Error() != want {
+		t.Fatalf("wheel error = %q, want %q", err, want)
+	}
+}

@@ -31,28 +31,40 @@ func (in *Instance) OuterFace() int { return in.Emb.OuterFaceOf(in.OuterDart) }
 // rotation at each vertex lists its neighbours in clockwise angular order
 // (starting from north, y up). It requires a straight-line plane drawing
 // (no crossing edges); validity is checked via the genus.
+//
+// The rotation is streamed into flat arrays: one vertex-major dart array
+// sorted by (tail, clockwise angle key) feeds planar.NewEmbeddingFlat
+// directly — no per-vertex neighbour slices are materialized.
 func embedFromCoords(g *graph.Graph, xs, ys []float64) (*planar.Embedding, error) {
-	orders := make([][]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		ns := g.Neighbors(v)
-		type na struct {
-			w   int
-			ang float64
+	n, m := g.N(), g.M()
+	darts := make([]int32, 0, 2*m)
+	keys := make([]float64, 2*m)
+	tails := make([]int32, 2*m)
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		for _, id := range g.IncidentEdges(v) {
+			u, _ := g.EndpointsOf(int(id))
+			d := 2 * id
+			if u != int32(v) {
+				d++
+			}
+			w := g.Other(int(id), v)
+			keys[d] = cwKey(math.Atan2(ys[w]-ys[v], xs[w]-xs[v]))
+			tails[d] = int32(v)
+			darts = append(darts, d)
 		}
-		nas := make([]na, len(ns))
-		for i, w := range ns {
-			nas[i] = na{w: w, ang: math.Atan2(ys[w]-ys[v], xs[w]-xs[v])}
-		}
-		// Clockwise from north: sort by angle descending, starting at pi/2.
-		sort.Slice(nas, func(i, j int) bool {
-			return cwKey(nas[i].ang) < cwKey(nas[j].ang)
-		})
-		orders[v] = make([]int, len(nas))
-		for i, x := range nas {
-			orders[v][i] = x.w
-		}
+		off[v+1] = off[v] + int32(g.Degree(v))
 	}
-	emb, err := planar.FromNeighborOrders(g, orders)
+	// One global sort: tails group darts vertex-major (matching off), the
+	// angle key orders each rotation clockwise from north.
+	sort.Slice(darts, func(i, j int) bool {
+		di, dj := darts[i], darts[j]
+		if tails[di] != tails[dj] {
+			return tails[di] < tails[dj]
+		}
+		return keys[di] < keys[dj]
+	})
+	emb, err := planar.NewEmbeddingFlat(g, off, darts)
 	if err != nil {
 		return nil, err
 	}
@@ -84,15 +96,19 @@ func outerDartFromCoords(g *graph.Graph, emb *planar.Embedding, xs, ys []float64
 			v0 = v
 		}
 	}
-	rot := emb.Rotation(v0)
+	d0 := emb.FirstDart(v0)
 	south := math.Pi // cwKey of straight down
-	for _, d := range rot {
-		w := planar.Head(g, d)
+	for d := d0; ; {
+		w := emb.HeadOf(d)
 		if cwKey(math.Atan2(ys[w]-ys[v0], xs[w]-xs[v0])) > south {
 			return d
 		}
+		d = emb.NextCW(d)
+		if d == d0 {
+			break
+		}
 	}
-	return rot[0]
+	return d0
 }
 
 // Grid returns the w x h grid graph with its standard embedding. Vertex
@@ -102,7 +118,7 @@ func Grid(w, h int) (*Instance, error) {
 	if w < 2 || h < 2 {
 		return nil, fmt.Errorf("gen: grid needs w,h >= 2, got %dx%d", w, h)
 	}
-	g := graph.New(w * h)
+	g := graph.NewWithCapacity(w*h, (w-1)*h+w*(h-1))
 	xs := make([]float64, w*h)
 	ys := make([]float64, w*h)
 	idx := func(x, y int) int { return y*w + x }

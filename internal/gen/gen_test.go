@@ -42,12 +42,12 @@ func TestGridInvariants(t *testing.T) {
 		fs := in.Emb.TraceFaces()
 		outer := in.OuterFace()
 		wantOuter := 2*(w-1) + 2*(h-1)
-		if got := len(fs.Cycles[outer]); got != wantOuter {
+		if got := fs.CycleLen(outer); got != wantOuter {
 			t.Fatalf("grid %v: outer face length %d, want %d", wh, got, wantOuter)
 		}
 		for f := 0; f < fs.Count(); f++ {
-			if f != outer && len(fs.Cycles[f]) != 4 {
-				t.Fatalf("grid %v: inner face of length %d", wh, len(fs.Cycles[f]))
+			if f != outer && fs.CycleLen(f) != 4 {
+				t.Fatalf("grid %v: inner face of length %d", wh, fs.CycleLen(f))
 			}
 		}
 	}
@@ -64,8 +64,8 @@ func TestCycleInvariants(t *testing.T) {
 		if fs.Count() != 2 {
 			t.Fatalf("cycle-%d: %d faces", n, fs.Count())
 		}
-		if len(fs.Cycles[in.OuterFace()]) != n {
-			t.Fatalf("cycle-%d: outer face length %d", n, len(fs.Cycles[in.OuterFace()]))
+		if fs.CycleLen(in.OuterFace()) != n {
+			t.Fatalf("cycle-%d: outer face length %d", n, fs.CycleLen(in.OuterFace()))
 		}
 	}
 	if _, err := Cycle(2); err == nil {
@@ -84,8 +84,8 @@ func TestWheelInvariants(t *testing.T) {
 		if fs.Count() != n+1 {
 			t.Fatalf("wheel-%d: faces=%d, want %d", n, fs.Count(), n+1)
 		}
-		if len(fs.Cycles[in.OuterFace()]) != n {
-			t.Fatalf("wheel-%d: outer length %d", n, len(fs.Cycles[in.OuterFace()]))
+		if fs.CycleLen(in.OuterFace()) != n {
+			t.Fatalf("wheel-%d: outer length %d", n, fs.CycleLen(in.OuterFace()))
 		}
 	}
 }
@@ -101,12 +101,12 @@ func TestFanInvariants(t *testing.T) {
 		fs := in.Emb.TraceFaces()
 		outer := in.OuterFace()
 		for f := 0; f < fs.Count(); f++ {
-			if f != outer && len(fs.Cycles[f]) != 3 {
-				t.Fatalf("fan-%d: inner face of length %d", n, len(fs.Cycles[f]))
+			if f != outer && fs.CycleLen(f) != 3 {
+				t.Fatalf("fan-%d: inner face of length %d", n, fs.CycleLen(f))
 			}
 		}
-		if len(fs.Cycles[outer]) != n {
-			t.Fatalf("fan-%d: outer face length %d, want %d", n, len(fs.Cycles[outer]), n)
+		if fs.CycleLen(outer) != n {
+			t.Fatalf("fan-%d: outer face length %d, want %d", n, fs.CycleLen(outer), n)
 		}
 	}
 }
@@ -125,8 +125,8 @@ func TestStackedTriangulation(t *testing.T) {
 		// Every face is a triangle.
 		fs := in.Emb.TraceFaces()
 		for f := 0; f < fs.Count(); f++ {
-			if len(fs.Cycles[f]) != 3 {
-				t.Fatalf("stacked-%d: face of length %d", n, len(fs.Cycles[f]))
+			if fs.CycleLen(f) != 3 {
+				t.Fatalf("stacked-%d: face of length %d", n, fs.CycleLen(f))
 			}
 		}
 		// Outer face must be the initial triangle {0,1,2}.
@@ -192,12 +192,12 @@ func TestPolygonTriangulation(t *testing.T) {
 		}
 		fs := in.Emb.TraceFaces()
 		outer := in.OuterFace()
-		if len(fs.Cycles[outer]) != n {
-			t.Fatalf("polygon-%d: outer length %d", n, len(fs.Cycles[outer]))
+		if fs.CycleLen(outer) != n {
+			t.Fatalf("polygon-%d: outer length %d", n, fs.CycleLen(outer))
 		}
 		for f := 0; f < fs.Count(); f++ {
-			if f != outer && len(fs.Cycles[f]) != 3 {
-				t.Fatalf("polygon-%d: inner face length %d", n, len(fs.Cycles[f]))
+			if f != outer && fs.CycleLen(f) != 3 {
+				t.Fatalf("polygon-%d: inner face length %d", n, fs.CycleLen(f))
 			}
 		}
 	}

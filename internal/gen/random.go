@@ -72,7 +72,7 @@ func (tb *triBuilder) stack(f int) int {
 // orders are filtered accordingly), which preserves planarity.
 func (tb *triBuilder) build(name string, keep func(u, v int) bool) (*Instance, error) {
 	n := len(tb.nbrs)
-	g := graph.New(n)
+	g := graph.NewWithCapacity(n, 3*n)
 	for v := 0; v < n; v++ {
 		for _, w := range tb.nbrs[v] {
 			if v < w && (keep == nil || keep(v, w)) {
@@ -80,15 +80,24 @@ func (tb *triBuilder) build(name string, keep func(u, v int) bool) (*Instance, e
 			}
 		}
 	}
-	orders := make([][]int, n)
+	// Stream the kept rotation into a flat vertex-major dart array.
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(g.Degree(v))
+	}
+	darts := make([]int32, 0, 2*g.M())
 	for v := 0; v < n; v++ {
 		for _, w := range tb.nbrs[v] {
 			if keep == nil || keep(min(v, w), max(v, w)) {
-				orders[v] = append(orders[v], w)
+				id, ok := g.EdgeID(v, w)
+				if !ok {
+					return nil, fmt.Errorf("gen: %s lost edge {%d,%d}", name, v, w)
+				}
+				darts = append(darts, int32(planar.DartFrom(g, id, v)))
 			}
 		}
 	}
-	emb, err := planar.FromNeighborOrders(g, orders)
+	emb, err := planar.NewEmbeddingFlat(g, off, darts)
 	if err != nil {
 		return nil, err
 	}
@@ -273,11 +282,21 @@ func treeInstance(name string, parent []int) (*Instance, error) {
 			g.MustAddEdge(v, parent[v])
 		}
 	}
-	orders := make([][]int, n)
+	// Trees embed neighbours in incident-edge order; emit the darts flat.
+	off := make([]int32, n+1)
+	darts := make([]int32, 0, 2*g.M())
 	for v := 0; v < n; v++ {
-		orders[v] = g.Neighbors(v)
+		off[v+1] = off[v] + int32(g.Degree(v))
+		for _, id := range g.IncidentEdges(v) {
+			u, _ := g.EndpointsOf(int(id))
+			d := 2 * id
+			if u != int32(v) {
+				d++
+			}
+			darts = append(darts, d)
+		}
 	}
-	emb, err := planar.FromNeighborOrders(g, orders)
+	emb, err := planar.NewEmbeddingFlat(g, off, darts)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +305,7 @@ func treeInstance(name string, parent []int) (*Instance, error) {
 	}
 	outer := 0
 	if n > 1 {
-		outer = emb.Rotation(0)[0]
+		outer = emb.FirstDart(0)
 	}
 	return &Instance{Name: name, G: g, Emb: emb, OuterDart: outer}, nil
 }

@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refGraph is a deliberately naive map/slice adjacency structure kept in
+// lockstep with the CSR graph by the property tests below. It encodes the
+// documented contracts directly: neighbour order is edge-insertion order at
+// each endpoint, edge IDs are insertion order globally.
+type refGraph struct {
+	n     int
+	adj   [][]int // neighbour lists in insertion order
+	inc   [][]int // incident edge IDs in insertion order
+	edges [][2]int
+	ids   map[[2]int]int
+}
+
+func newRefGraph(n int) *refGraph {
+	return &refGraph{
+		n:   n,
+		adj: make([][]int, n),
+		inc: make([][]int, n),
+		ids: map[[2]int]int{},
+	}
+}
+
+func (r *refGraph) addEdge(u, v int) int {
+	id := len(r.edges)
+	r.edges = append(r.edges, key(u, v)) // endpoints normalized, U < V
+	r.adj[u] = append(r.adj[u], v)
+	r.adj[v] = append(r.adj[v], u)
+	r.inc[u] = append(r.inc[u], id)
+	r.inc[v] = append(r.inc[v], id)
+	r.ids[key(u, v)] = id
+	return id
+}
+
+func key(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// TestFlatMatchesReference grows random graphs edge by edge and checks every
+// read accessor of the CSR representation against the naive reference after
+// each insertion batch — including interleaved reads, which force the lazy
+// CSR cache to be rebuilt repeatedly.
+func TestFlatMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		ref := newRefGraph(n)
+		target := rng.Intn(3 * n)
+		if max := n * (n - 1) / 2; target > max {
+			target = max
+		}
+		for len(ref.edges) < target {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if _, dup := ref.ids[key(u, v)]; dup {
+				continue
+			}
+			id, err := g.AddEdge(u, v)
+			if err != nil {
+				t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+			}
+			if want := ref.addEdge(u, v); id != want {
+				t.Fatalf("edge {%d,%d} got id %d, want insertion order %d", u, v, id, want)
+			}
+			// Interleave reads with writes every few edges so the cache
+			// invalidation path is exercised, not just the final state.
+			if len(ref.edges)%5 == 0 {
+				compareGraphs(t, g, ref)
+			}
+		}
+		compareGraphs(t, g, ref)
+		// Clone must agree too and stay independent.
+		c := g.Clone()
+		compareGraphs(t, c, ref)
+	}
+}
+
+func compareGraphs(t *testing.T, g *Graph, ref *refGraph) {
+	t.Helper()
+	if g.N() != ref.n || g.M() != len(ref.edges) {
+		t.Fatalf("size mismatch: got %d/%d, want %d/%d", g.N(), g.M(), ref.n, len(ref.edges))
+	}
+	for v := 0; v < ref.n; v++ {
+		if g.Degree(v) != len(ref.adj[v]) {
+			t.Fatalf("Degree(%d) = %d, want %d", v, g.Degree(v), len(ref.adj[v]))
+		}
+		ns := g.Neighbors(v)
+		if len(ns) != len(ref.adj[v]) {
+			t.Fatalf("Neighbors(%d) has %d entries, want %d", v, len(ns), len(ref.adj[v]))
+		}
+		for i, w := range ref.adj[v] {
+			if ns[i] != w {
+				t.Fatalf("Neighbors(%d)[%d] = %d, want %d (insertion order)", v, i, ns[i], w)
+			}
+		}
+		ids := g.IncidentEdges(v)
+		if len(ids) != len(ref.inc[v]) {
+			t.Fatalf("IncidentEdges(%d) has %d entries, want %d", v, len(ids), len(ref.inc[v]))
+		}
+		for i, id := range ref.inc[v] {
+			if int(ids[i]) != id {
+				t.Fatalf("IncidentEdges(%d)[%d] = %d, want %d", v, i, ids[i], id)
+			}
+		}
+	}
+	for id, e := range ref.edges {
+		u, v := e[0], e[1]
+		gu, gv := g.EndpointsOf(id)
+		if int(gu) != u || int(gv) != v {
+			t.Fatalf("EndpointsOf(%d) = (%d,%d), want (%d,%d)", id, gu, gv, u, v)
+		}
+		if got, ok := g.EdgeID(u, v); !ok || got != id {
+			t.Fatalf("EdgeID(%d,%d) = (%d,%v), want (%d,true)", u, v, got, ok, id)
+		}
+		if got, ok := g.EdgeID(v, u); !ok || got != id {
+			t.Fatalf("EdgeID(%d,%d) = (%d,%v), want (%d,true)", v, u, got, ok, id)
+		}
+		if !g.HasEdge(u, v) || !g.HasEdge(v, u) {
+			t.Fatalf("HasEdge(%d,%d) is false", u, v)
+		}
+		if g.Other(id, u) != v || g.Other(id, v) != u {
+			t.Fatalf("Other(%d) does not invert the endpoints", id)
+		}
+	}
+	// A handful of negative membership probes.
+	for u := 0; u < ref.n; u++ {
+		v := (u*7 + 3) % ref.n
+		_, want := ref.ids[key(u, v)]
+		if u == v {
+			want = false
+		}
+		if g.HasEdge(u, v) != want {
+			t.Fatalf("HasEdge(%d,%d) = %v, want %v", u, v, !want, want)
+		}
+	}
+}
+
+// TestEdgeByIDPanicMessage pins the exact out-of-range panic text: callers
+// (and the recovery layer) match on the "graph:" prefix.
+func TestEdgeByIDPanicMessage(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	for _, id := range []int{-1, 1, 99} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("EdgeByID(%d) did not panic", id)
+				}
+				want := fmt.Sprintf("graph: edge id %d out of range [0,1)", id)
+				if msg, ok := r.(string); !ok || msg != want {
+					t.Fatalf("EdgeByID(%d) panic = %v, want %q", id, r, want)
+				}
+			}()
+			g.EdgeByID(id)
+		}()
+	}
+}
+
+// TestEdgeOtherPanics covers the documented Edge.Other contract: a
+// non-endpoint argument panics with a "graph:"-prefixed message.
+func TestEdgeOtherPanics(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	e := g.EdgeByID(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Edge.Other(2) on edge {0,1} did not panic")
+		}
+		if msg, ok := r.(string); !ok || len(msg) < 6 || msg[:6] != "graph:" {
+			t.Fatalf("Edge.Other panic = %v, want a graph:-prefixed string", r)
+		}
+	}()
+	e.Other(2)
+}
+
+// TestIncidenceScanZeroAlloc gates the flat representation's core promise:
+// once the CSR cache is built, the per-round BFS/DFS inner loop — scan the
+// incident darts of a frontier vertex and resolve the far endpoints — runs
+// without allocating.
+func TestIncidenceScanZeroAlloc(t *testing.T) {
+	g := New(200)
+	for v := 1; v < 200; v++ {
+		g.MustAddEdge(v-1, v)
+		if v >= 2 {
+			g.MustAddEdge(v-2, v)
+		}
+	}
+	g.Freeze()
+	sink := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		for v := 0; v < g.N(); v++ {
+			for _, id := range g.IncidentEdges(v) {
+				sink += g.Other(int(id), v)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("incidence scan allocates %.1f allocs/run, want 0", allocs)
+	}
+	if sink == 0 {
+		t.Fatal("scan did not visit any edge")
+	}
+}
+
+// TestConstructionAllocsBounded gates the construction path: with a
+// capacity hint, building a graph is a constant number of allocations
+// (the backing arrays), independent of n and m.
+func TestConstructionAllocsBounded(t *testing.T) {
+	const n, rows = 2000, 2
+	allocs := testing.AllocsPerRun(10, func() {
+		g := NewWithCapacity(n, 2*n)
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(v-1, v)
+			if v >= 2 {
+				g.MustAddEdge(v-2, v)
+			}
+		}
+		g.Freeze()
+	})
+	// One allocation per backing array plus the struct itself; 16 leaves
+	// headroom without letting a per-edge or per-vertex regression through.
+	if allocs > 16 {
+		t.Fatalf("construction with capacity hint allocates %.1f allocs/run, want <= 16", allocs)
+	}
+	_ = rows
+}

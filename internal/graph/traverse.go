@@ -15,6 +15,7 @@ type BFSResult struct {
 // BFS runs a breadth-first search from src. Ties are broken by incident-edge
 // insertion order, so the result is deterministic.
 func (g *Graph) BFS(src int) *BFSResult {
+	g.ensure()
 	res := &BFSResult{
 		Source: src,
 		Dist:   make([]int, g.n),
@@ -30,8 +31,9 @@ func (g *Graph) BFS(src int) *BFSResult {
 		v := queue[0]
 		queue = queue[1:]
 		res.Order = append(res.Order, v)
-		for _, id := range g.adj[v] {
-			w := g.edges[id].Other(v)
+		v32 := int32(v)
+		for _, id := range g.inc[g.off[v]:g.off[v+1]] {
+			w := int(g.endU[id] + g.endV[id] - v32)
 			if res.Dist[w] < 0 {
 				res.Dist[w] = res.Dist[v] + 1
 				res.Parent[w] = v
@@ -110,10 +112,24 @@ func (g *Graph) Components() [][]int {
 // the vertices in the removed set. Each component is listed in BFS order
 // from its smallest vertex.
 func (g *Graph) ComponentsAvoiding(removed map[int]bool) [][]int {
+	mask := make([]bool, g.n)
+	for v, r := range removed { //planarvet:orderinvariant writes into a positional mask
+		if r && v >= 0 && v < g.n {
+			mask[v] = true
+		}
+	}
+	return g.ComponentsAvoidingMask(mask)
+}
+
+// ComponentsAvoidingMask is ComponentsAvoiding with the removed set given as
+// a positional mask (removed[v] == true deletes v). It is the allocation-lean
+// form used on hot paths; a nil mask removes nothing.
+func (g *Graph) ComponentsAvoidingMask(removed []bool) [][]int {
+	g.ensure()
 	seen := make([]bool, g.n)
 	var comps [][]int
 	for v := 0; v < g.n; v++ {
-		if seen[v] || removed[v] {
+		if seen[v] || (removed != nil && removed[v]) {
 			continue
 		}
 		var comp []int
@@ -123,9 +139,10 @@ func (g *Graph) ComponentsAvoiding(removed map[int]bool) [][]int {
 			x := queue[0]
 			queue = queue[1:]
 			comp = append(comp, x)
-			for _, id := range g.adj[x] {
-				w := g.edges[id].Other(x)
-				if !seen[w] && !removed[w] {
+			x32 := int32(x)
+			for _, id := range g.inc[g.off[x]:g.off[x+1]] {
+				w := int(g.endU[id] + g.endV[id] - x32)
+				if !seen[w] && (removed == nil || !removed[w]) {
 					seen[w] = true
 					queue = append(queue, w)
 				}

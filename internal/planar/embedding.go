@@ -13,6 +13,15 @@
 // rotation system drawn in the plane, every inner face is traversed
 // counterclockwise (interior to the left of each dart) and the outer face
 // clockwise.
+//
+// # Flat layout
+//
+// The rotation system is stored dart-indexed (DESIGN.md §13): next[d] and
+// prev[d] link the clockwise cyclic order around Tail(d), head[d] caches the
+// head vertex, pos[d] the index within the tail's rotation, and first[v] the
+// dart at position 0. There are no per-vertex slices; Rotation and
+// NeighborOrder materialize copies for compatibility, while hot paths walk
+// FirstDart/NextCW directly.
 package planar
 
 import (
@@ -23,20 +32,20 @@ import (
 
 // Tail returns the tail vertex of dart d in g.
 func Tail(g *graph.Graph, d int) int {
-	e := g.EdgeByID(d / 2)
+	u, v := g.EndpointsOf(d / 2)
 	if d%2 == 0 {
-		return e.U
+		return int(u)
 	}
-	return e.V
+	return int(v)
 }
 
 // Head returns the head vertex of dart d in g.
 func Head(g *graph.Graph, d int) int {
-	e := g.EdgeByID(d / 2)
+	u, v := g.EndpointsOf(d / 2)
 	if d%2 == 0 {
-		return e.V
+		return int(v)
 	}
-	return e.U
+	return int(u)
 }
 
 // Twin returns the reversal of dart d.
@@ -55,44 +64,65 @@ func DartFrom(g *graph.Graph, id, u int) int {
 }
 
 // Embedding is a rotation system over a graph: for every vertex, the
-// clockwise cyclic ordering of its outgoing darts.
+// clockwise cyclic ordering of its outgoing darts, stored as flat
+// dart-indexed arrays.
 type Embedding struct {
 	g *graph.Graph
-	// rot[v] lists the darts with tail v in clockwise order.
-	rot [][]int
-	// pos[d] is the index of dart d within rot[Tail(d)].
-	pos []int
+	// next[d]/prev[d] are the clockwise successor/predecessor of dart d in
+	// the rotation of its tail vertex.
+	next, prev []int32
+	// pos[d] is the index of dart d within the rotation of Tail(d).
+	pos []int32
+	// headD[d] caches Head(g, d).
+	headD []int32
+	// first[v] is the dart at position 0 of v's rotation, or -1 for an
+	// isolated vertex.
+	first []int32
 }
 
-// NewEmbedding builds an embedding from per-vertex clockwise dart orders.
-// Each rot[v] must be a permutation of the darts with tail v.
-func NewEmbedding(g *graph.Graph, rot [][]int) (*Embedding, error) {
-	if len(rot) != g.N() {
-		return nil, fmt.Errorf("planar: rotation for %d vertices, graph has %d", len(rot), g.N())
+// alloc returns an embedding shell with pos initialised to -1.
+func allocEmbedding(g *graph.Graph) *Embedding {
+	m2 := 2 * g.M()
+	emb := &Embedding{
+		g:     g,
+		next:  make([]int32, m2),
+		prev:  make([]int32, m2),
+		pos:   make([]int32, m2),
+		headD: make([]int32, m2),
+		first: make([]int32, g.N()),
 	}
-	emb := &Embedding{g: g, rot: make([][]int, g.N()), pos: make([]int, 2*g.M())}
-	for i := range emb.pos {
-		emb.pos[i] = -1
+	for d := range emb.pos {
+		emb.pos[d] = -1
 	}
-	for v := range rot {
-		if len(rot[v]) != g.Degree(v) {
-			return nil, fmt.Errorf("planar: vertex %d has degree %d but rotation of length %d", v, g.Degree(v), len(rot[v]))
-		}
-		emb.rot[v] = make([]int, len(rot[v]))
-		copy(emb.rot[v], rot[v])
-		for i, d := range rot[v] {
-			if d < 0 || d >= 2*g.M() {
-				return nil, fmt.Errorf("planar: dart %d out of range at vertex %d", d, v)
-			}
-			if Tail(g, d) != v {
-				return nil, fmt.Errorf("planar: dart %d has tail %d, listed at vertex %d", d, Tail(g, d), v)
-			}
-			if emb.pos[d] != -1 {
-				return nil, fmt.Errorf("planar: dart %d listed twice", d)
-			}
-			emb.pos[d] = i
-		}
+	for v := range emb.first {
+		emb.first[v] = -1
 	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.EndpointsOf(e)
+		emb.headD[2*e] = v
+		emb.headD[2*e+1] = u
+	}
+	return emb
+}
+
+// placeDart validates dart d as entry i of v's rotation of length deg and
+// records it in the flat arrays (linking is done once the segment is known).
+func (emb *Embedding) placeDart(v, i, d int) error {
+	if d < 0 || d >= len(emb.pos) {
+		return fmt.Errorf("planar: dart %d out of range at vertex %d", d, v)
+	}
+	if Tail(emb.g, d) != v {
+		return fmt.Errorf("planar: dart %d has tail %d, listed at vertex %d", d, Tail(emb.g, d), v)
+	}
+	if emb.pos[d] != -1 {
+		return fmt.Errorf("planar: dart %d listed twice", d)
+	}
+	emb.pos[d] = int32(i)
+	return nil
+}
+
+// finish checks completeness after all darts are placed.
+func (emb *Embedding) finish() (*Embedding, error) {
 	for d, p := range emb.pos {
 		if p == -1 {
 			return nil, fmt.Errorf("planar: dart %d missing from rotation system", d)
@@ -101,67 +131,166 @@ func NewEmbedding(g *graph.Graph, rot [][]int) (*Embedding, error) {
 	return emb, nil
 }
 
+// NewEmbedding builds an embedding from per-vertex clockwise dart orders.
+// Each rot[v] must be a permutation of the darts with tail v.
+func NewEmbedding(g *graph.Graph, rot [][]int) (*Embedding, error) {
+	if len(rot) != g.N() {
+		return nil, fmt.Errorf("planar: rotation for %d vertices, graph has %d", len(rot), g.N())
+	}
+	emb := allocEmbedding(g)
+	for v := range rot {
+		if len(rot[v]) != g.Degree(v) {
+			return nil, fmt.Errorf("planar: vertex %d has degree %d but rotation of length %d", v, g.Degree(v), len(rot[v]))
+		}
+		for i, d := range rot[v] {
+			if err := emb.placeDart(v, i, d); err != nil {
+				return nil, err
+			}
+		}
+		emb.linkCycle(v, func(i int) int { return rot[v][i] }, len(rot[v]))
+	}
+	return emb.finish()
+}
+
+// NewEmbeddingFlat builds an embedding from a vertex-major flat dart array:
+// darts[off[v]:off[v+1]] is the clockwise dart order at v. This is the
+// allocation-lean constructor streaming generators use; off must have length
+// g.N()+1 and darts length 2*g.M().
+func NewEmbeddingFlat(g *graph.Graph, off, darts []int32) (*Embedding, error) {
+	if len(off) != g.N()+1 {
+		return nil, fmt.Errorf("planar: rotation for %d vertices, graph has %d", len(off)-1, g.N())
+	}
+	emb := allocEmbedding(g)
+	for v := 0; v < g.N(); v++ {
+		seg := darts[off[v]:off[v+1]]
+		if len(seg) != g.Degree(v) {
+			return nil, fmt.Errorf("planar: vertex %d has degree %d but rotation of length %d", v, g.Degree(v), len(seg))
+		}
+		for i, d := range seg {
+			if err := emb.placeDart(v, i, int(d)); err != nil {
+				return nil, err
+			}
+		}
+		emb.linkCycle(v, func(i int) int { return int(seg[i]) }, len(seg))
+	}
+	return emb.finish()
+}
+
+// linkCycle records the cyclic next/prev links and first dart for v's
+// validated rotation segment.
+func (emb *Embedding) linkCycle(v int, dart func(i int) int, k int) {
+	if k == 0 {
+		return
+	}
+	emb.first[v] = int32(dart(0))
+	for i := 0; i < k; i++ {
+		d := dart(i)
+		emb.next[d] = int32(dart((i + 1) % k))
+		emb.prev[d] = int32(dart((i - 1 + k) % k))
+	}
+}
+
 // FromNeighborOrders builds an embedding from per-vertex clockwise neighbour
 // orderings (valid for simple graphs, where a neighbour identifies the edge).
 func FromNeighborOrders(g *graph.Graph, orders [][]int) (*Embedding, error) {
-	rot := make([][]int, g.N())
+	if len(orders) != g.N() {
+		return nil, fmt.Errorf("planar: rotation for %d vertices, graph has %d", len(orders), g.N())
+	}
+	emb := allocEmbedding(g)
+	darts := make([]int, 0, 2*g.M())
 	for v := range orders {
-		rot[v] = make([]int, len(orders[v]))
-		for i, w := range orders[v] {
+		if len(orders[v]) != g.Degree(v) {
+			return nil, fmt.Errorf("planar: vertex %d has degree %d but rotation of length %d", v, g.Degree(v), len(orders[v]))
+		}
+		darts = darts[:0]
+		for _, w := range orders[v] {
 			id, ok := g.EdgeID(v, w)
 			if !ok {
 				return nil, fmt.Errorf("planar: vertex %d lists non-neighbour %d", v, w)
 			}
-			rot[v][i] = DartFrom(g, id, v)
+			darts = append(darts, DartFrom(g, id, v))
 		}
+		for i, d := range darts {
+			if err := emb.placeDart(v, i, d); err != nil {
+				return nil, err
+			}
+		}
+		seg := darts
+		emb.linkCycle(v, func(i int) int { return seg[i] }, len(seg))
 	}
-	return NewEmbedding(g, rot)
+	return emb.finish()
 }
 
 // Graph returns the underlying graph.
 func (emb *Embedding) Graph() *graph.Graph { return emb.g }
 
-// Rotation returns the clockwise dart order at v. The slice must not be
-// modified.
-func (emb *Embedding) Rotation(v int) []int { return emb.rot[v] }
+// Rotation returns the clockwise dart order at v as a freshly allocated
+// slice. Hot paths should iterate with FirstDart/NextCW instead.
+func (emb *Embedding) Rotation(v int) []int {
+	out := make([]int, 0, emb.g.Degree(v))
+	d := emb.first[v]
+	if d < 0 {
+		return out
+	}
+	for {
+		out = append(out, int(d))
+		d = emb.next[d]
+		if d == emb.first[v] {
+			return out
+		}
+	}
+}
+
+// FirstDart returns the dart at position 0 of v's rotation, or -1 if v is
+// isolated. Together with NextCW it iterates the rotation without
+// allocating.
+func (emb *Embedding) FirstDart(v int) int { return int(emb.first[v]) }
 
 // Pos returns the index of dart d within the rotation of its tail.
-func (emb *Embedding) Pos(d int) int { return emb.pos[d] }
+func (emb *Embedding) Pos(d int) int { return int(emb.pos[d]) }
+
+// HeadOf returns the head vertex of dart d (the flat-array form of
+// Head(emb.Graph(), d)).
+func (emb *Embedding) HeadOf(d int) int { return int(emb.headD[d]) }
+
+// TailOf returns the tail vertex of dart d.
+func (emb *Embedding) TailOf(d int) int { return int(emb.headD[d^1]) }
 
 // NextCW returns the dart clockwise-after d around its tail vertex.
-func (emb *Embedding) NextCW(d int) int {
-	r := emb.rot[Tail(emb.g, d)]
-	return r[(emb.pos[d]+1)%len(r)]
-}
+func (emb *Embedding) NextCW(d int) int { return int(emb.next[d]) }
 
 // NextCCW returns the dart counterclockwise-after d around its tail vertex.
-func (emb *Embedding) NextCCW(d int) int {
-	r := emb.rot[Tail(emb.g, d)]
-	return r[(emb.pos[d]-1+len(r))%len(r)]
-}
+func (emb *Embedding) NextCCW(d int) int { return int(emb.prev[d]) }
 
 // FaceNext returns the successor of dart d along its face, using the
 // convention that the face interior lies to the left of d: the successor is
 // the clockwise-next dart after Twin(d) around Head(d).
-func (emb *Embedding) FaceNext(d int) int {
-	return emb.NextCW(Twin(d))
-}
+func (emb *Embedding) FaceNext(d int) int { return int(emb.next[d^1]) }
 
 // Clone returns a deep copy of the embedding (sharing the graph).
 func (emb *Embedding) Clone() *Embedding {
-	c := &Embedding{g: emb.g, rot: make([][]int, len(emb.rot)), pos: make([]int, len(emb.pos))}
-	for v := range emb.rot {
-		c.rot[v] = append([]int(nil), emb.rot[v]...)
+	return &Embedding{
+		g:     emb.g,
+		next:  append([]int32(nil), emb.next...),
+		prev:  append([]int32(nil), emb.prev...),
+		pos:   append([]int32(nil), emb.pos...),
+		headD: append([]int32(nil), emb.headD...),
+		first: append([]int32(nil), emb.first...),
 	}
-	copy(c.pos, emb.pos)
-	return c
 }
 
 // NeighborOrder returns the clockwise neighbour ordering at v.
 func (emb *Embedding) NeighborOrder(v int) []int {
-	out := make([]int, len(emb.rot[v]))
-	for i, d := range emb.rot[v] {
-		out[i] = Head(emb.g, d)
+	out := make([]int, 0, emb.g.Degree(v))
+	d := emb.first[v]
+	if d < 0 {
+		return out
 	}
-	return out
+	for {
+		out = append(out, int(emb.headD[d]))
+		d = emb.next[d]
+		if d == emb.first[v] {
+			return out
+		}
+	}
 }

@@ -7,63 +7,106 @@ import (
 )
 
 // Faces is the face structure of an embedding: every dart belongs to exactly
-// one face cycle.
+// one face cycle. Cycles are stored in CSR form — one flat dart array with
+// per-face offsets — so tracing allocates O(1) slices regardless of the face
+// count.
 type Faces struct {
 	emb *Embedding
 	// FaceOf[d] is the face index of dart d.
-	FaceOf []int
-	// Cycles[f] lists the darts of face f in traversal order.
-	Cycles [][]int
+	FaceOf []int32
+	// CSR cycle storage: the darts of face f, in traversal order starting
+	// from its smallest dart, are cyc[off[f]:off[f+1]].
+	off []int32
+	cyc []int32
 }
 
 // TraceFaces computes all faces of the embedding by iterating the FaceNext
-// successor rule.
+// successor rule. Face f's cycle begins at its smallest dart.
 func (emb *Embedding) TraceFaces() *Faces {
 	m2 := 2 * emb.g.M()
-	fs := &Faces{emb: emb, FaceOf: make([]int, m2)}
+	fs := &Faces{emb: emb, FaceOf: make([]int32, m2), cyc: make([]int32, m2)}
 	for i := range fs.FaceOf {
 		fs.FaceOf[i] = -1
 	}
+	fs.off = append(fs.off, 0)
+	cursor := 0
 	for d := 0; d < m2; d++ {
 		if fs.FaceOf[d] != -1 {
 			continue
 		}
-		id := len(fs.Cycles)
-		var cyc []int
-		for x := d; fs.FaceOf[x] == -1; x = emb.FaceNext(x) {
+		id := int32(len(fs.off) - 1)
+		for x := int32(d); fs.FaceOf[x] == -1; x = emb.next[int(x)^1] {
 			fs.FaceOf[x] = id
-			cyc = append(cyc, x)
+			fs.cyc[cursor] = x
+			cursor++
 		}
-		fs.Cycles = append(fs.Cycles, cyc)
+		fs.off = append(fs.off, int32(cursor))
 	}
 	return fs
 }
 
 // Count returns the number of faces.
-func (fs *Faces) Count() int { return len(fs.Cycles) }
+func (fs *Faces) Count() int { return len(fs.off) - 1 }
 
-// FaceVertices returns the vertices on face f in traversal order (a vertex
-// may repeat if the face boundary visits it more than once).
-func (fs *Faces) FaceVertices(f int) []int {
-	out := make([]int, len(fs.Cycles[f]))
-	for i, d := range fs.Cycles[f] {
-		out[i] = Tail(fs.emb.g, d)
+// Cycle returns the darts of face f in traversal order, as a view into the
+// CSR storage: zero allocations, and the returned slice must not be
+// modified.
+func (fs *Faces) Cycle(f int) []int32 { return fs.cyc[fs.off[f]:fs.off[f+1]] }
+
+// CycleLen returns the number of darts on face f.
+func (fs *Faces) CycleLen(f int) int { return int(fs.off[f+1] - fs.off[f]) }
+
+// Cycles materializes all face cycles as [][]int, indexed by face. It exists
+// for tests and diagnostics; algorithmic code should use Cycle views.
+func (fs *Faces) Cycles() [][]int {
+	out := make([][]int, fs.Count())
+	for f := range out {
+		seg := fs.Cycle(f)
+		c := make([]int, len(seg))
+		for i, d := range seg {
+			c[i] = int(d)
+		}
+		out[f] = c
 	}
 	return out
 }
 
-// FacesAtVertex returns the distinct faces incident to v.
-func (fs *Faces) FacesAtVertex(v int) []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, d := range fs.emb.rot[v] {
-		f := fs.FaceOf[d]
-		if !seen[f] {
-			seen[f] = true
-			out = append(out, f)
-		}
+// FaceVertices returns the vertices on face f in traversal order (a vertex
+// may repeat if the face boundary visits it more than once).
+func (fs *Faces) FaceVertices(f int) []int {
+	seg := fs.Cycle(f)
+	out := make([]int, len(seg))
+	for i, d := range seg {
+		out[i] = int(fs.emb.headD[int(d)^1]) // tail of d
 	}
 	return out
+}
+
+// FacesAtVertex returns the distinct faces incident to v, in rotation order
+// of first incidence.
+func (fs *Faces) FacesAtVertex(v int) []int {
+	var out []int
+	d := fs.emb.first[v]
+	if d < 0 {
+		return out
+	}
+	for x := d; ; {
+		f := int(fs.FaceOf[x])
+		dup := false
+		for _, o := range out {
+			if o == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, f)
+		}
+		x = fs.emb.next[x]
+		if x == d {
+			return out
+		}
+	}
 }
 
 // Genus returns the Euler genus of the embedding, assuming the underlying
@@ -112,7 +155,7 @@ func (emb *Embedding) BuildDual() *Dual {
 	fs := emb.TraceFaces()
 	d := &Dual{Faces: fs, Side: make([][2]int, emb.g.M())}
 	for e := 0; e < emb.g.M(); e++ {
-		d.Side[e] = [2]int{fs.FaceOf[2*e], fs.FaceOf[2*e+1]}
+		d.Side[e] = [2]int{int(fs.FaceOf[2*e]), int(fs.FaceOf[2*e+1])}
 	}
 	return d
 }
@@ -149,7 +192,7 @@ func (emb *Embedding) ClassifyCycle(cycleEdges []int, outerFace int) (*CycleClas
 	uf := graph.NewUnionFind(fs.Count())
 	for e := 0; e < emb.g.M(); e++ {
 		if !onCycleEdge[e] {
-			uf.Union(fs.FaceOf[2*e], fs.FaceOf[2*e+1])
+			uf.Union(int(fs.FaceOf[2*e]), int(fs.FaceOf[2*e+1]))
 		}
 	}
 	if uf.Count() != 2 {
@@ -165,16 +208,16 @@ func (emb *Embedding) ClassifyCycle(cycleEdges []int, outerFace int) (*CycleClas
 		cc.InsideFace[f] = uf.Find(f) != out
 	}
 	for _, e := range cycleEdges {
-		ed := emb.g.EdgeByID(e)
-		cc.OnCycle[ed.U] = true
-		cc.OnCycle[ed.V] = true
+		u, v := emb.g.EndpointsOf(e)
+		cc.OnCycle[u] = true
+		cc.OnCycle[v] = true
 	}
 	for v := 0; v < emb.g.N(); v++ {
-		if cc.OnCycle[v] || len(emb.rot[v]) == 0 {
+		if cc.OnCycle[v] || emb.first[v] < 0 {
 			continue
 		}
 		// All incident faces of a non-cycle vertex are on one side.
-		cc.InsideVertex[v] = cc.InsideFace[fs.FaceOf[emb.rot[v][0]]]
+		cc.InsideVertex[v] = cc.InsideFace[fs.FaceOf[emb.first[v]]]
 	}
 	return cc, nil
 }
@@ -184,5 +227,5 @@ func (emb *Embedding) ClassifyCycle(cycleEdges []int, outerFace int) (*CycleClas
 // its darts.
 func (emb *Embedding) OuterFaceOf(dart int) int {
 	fs := emb.TraceFaces()
-	return fs.FaceOf[dart]
+	return int(fs.FaceOf[dart])
 }

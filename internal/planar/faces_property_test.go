@@ -67,7 +67,7 @@ func TestTraceFacesPartitionsDarts(t *testing.T) {
 		}
 		fs := emb.TraceFaces()
 		counted := 0
-		for _, cyc := range fs.Cycles {
+		for _, cyc := range fs.Cycles() {
 			counted += len(cyc)
 			for i, d := range cyc {
 				nxt := cyc[(i+1)%len(cyc)]

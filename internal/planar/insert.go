@@ -32,31 +32,50 @@ func (emb *Embedding) InsertEdge(ins Insertion) (*graph.Graph, *Embedding, error
 	id := ng.MustAddEdge(ins.U, ins.V)
 	dU := DartFrom(ng, id, ins.U)
 	dV := DartFrom(ng, id, ins.V)
-	rot := make([][]int, ng.N())
-	for v := 0; v < ng.N(); v++ {
-		old := emb.rot[v]
-		switch v {
-		case ins.U:
-			rot[v] = insertAt(old, ins.PosU, dU)
-		case ins.V:
-			rot[v] = insertAt(old, ins.PosV, dV)
-		default:
-			rot[v] = append([]int(nil), old...)
-		}
+	// Copy the flat rotation arrays, grown by the two new darts, and splice
+	// each new dart into its tail's cyclic order — no per-vertex slices and
+	// no revalidation pass.
+	nemb := &Embedding{
+		g:     ng,
+		next:  append(append(make([]int32, 0, 2*ng.M()), emb.next...), -1, -1),
+		prev:  append(append(make([]int32, 0, 2*ng.M()), emb.prev...), -1, -1),
+		pos:   append(append(make([]int32, 0, 2*ng.M()), emb.pos...), -1, -1),
+		headD: append(append(make([]int32, 0, 2*ng.M()), emb.headD...), 0, 0),
+		first: append([]int32(nil), emb.first...),
 	}
-	nemb, err := NewEmbedding(ng, rot)
-	if err != nil {
-		return nil, nil, err
-	}
+	nemb.headD[dU] = int32(ins.V)
+	nemb.headD[dU^1] = int32(ins.U)
+	nemb.splice(ins.U, ins.PosU, int32(dU), g.Degree(ins.U))
+	nemb.splice(ins.V, ins.PosV, int32(dV), g.Degree(ins.V))
 	return ng, nemb, nil
 }
 
-func insertAt(s []int, i, x int) []int {
-	out := make([]int, 0, len(s)+1)
-	out = append(out, s[:i]...)
-	out = append(out, x)
-	out = append(out, s[i:]...)
-	return out
+// splice inserts dart d at index pos of v's rotation, whose length before
+// insertion is oldDeg, shifting later darts one position right.
+func (emb *Embedding) splice(v, pos int, d int32, oldDeg int) {
+	if oldDeg == 0 {
+		emb.first[v] = d
+		emb.next[d] = d
+		emb.prev[d] = d
+		emb.pos[d] = 0
+		return
+	}
+	at := emb.first[v]
+	for i := 0; i < pos; i++ {
+		at = emb.next[at]
+	}
+	p := emb.prev[at]
+	emb.next[p] = d
+	emb.prev[d] = p
+	emb.next[d] = at
+	emb.prev[at] = d
+	emb.pos[d] = int32(pos)
+	if pos == 0 {
+		emb.first[v] = d
+	}
+	for x := emb.next[d]; x != emb.first[v]; x = emb.next[x] {
+		emb.pos[x]++
+	}
 }
 
 // CompatibleInsertions returns every insertion of the virtual edge {u,v}
@@ -100,13 +119,27 @@ func (emb *Embedding) ECompatible(u, v int) bool {
 func (emb *Embedding) FaceInsertions(u, v int) []Insertion {
 	fs := emb.TraceFaces()
 	var out []Insertion
-	for _, d1 := range emb.rot[u] {
+	du0 := emb.first[u]
+	if du0 < 0 {
+		return out
+	}
+	for d1 := du0; ; {
 		f := fs.FaceOf[d1]
-		for _, d2 := range emb.rot[v] {
-			if fs.FaceOf[d2] != f {
-				continue
+		dv0 := emb.first[v]
+		if dv0 >= 0 {
+			for d2 := dv0; ; {
+				if fs.FaceOf[d2] == f {
+					out = append(out, Insertion{U: u, V: v, PosU: int(emb.pos[d1]), PosV: int(emb.pos[d2])})
+				}
+				d2 = emb.next[d2]
+				if d2 == dv0 {
+					break
+				}
 			}
-			out = append(out, Insertion{U: u, V: v, PosU: emb.pos[d1], PosV: emb.pos[d2]})
+		}
+		d1 = emb.next[d1]
+		if d1 == du0 {
+			break
 		}
 	}
 	return out

@@ -49,7 +49,7 @@ func TestTriangleFaces(t *testing.T) {
 	// The inner face must be traced counterclockwise: 0->1, 1->2, 2->0.
 	d01 := DartFrom(g, 0, 0) // edge 0 is {0,1}, dart 0 is 0->1
 	inner := fs.FaceOf[d01]
-	cyc := fs.Cycles[inner]
+	cyc := fs.Cycles()[inner]
 	if len(cyc) != 3 {
 		t.Fatalf("inner face length %d", len(cyc))
 	}
@@ -284,9 +284,13 @@ func TestEmbeddingValidation(t *testing.T) {
 func TestCloneIndependence(t *testing.T) {
 	_, emb := triangleInstance(t)
 	c := emb.Clone()
-	c.rot[0][0], c.rot[0][1] = c.rot[0][1], c.rot[0][0]
-	if emb.rot[0][0] == c.rot[0][0] {
+	c.next[0] = -9
+	c.first[0] = -7
+	if emb.next[0] == -9 {
 		t.Fatal("clone shares rotation storage")
+	}
+	if emb.first[0] == -7 {
+		t.Fatal("clone shares first-dart storage")
 	}
 }
 

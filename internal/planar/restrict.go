@@ -44,10 +44,18 @@ func (emb *Embedding) RestrictTo(vs []int, outerFace int) (*Restriction, error) 
 	// Rotation orders: filter each kept vertex's rotation to kept edges.
 	orders := make([][]int, sub.N())
 	for i, v := range orig {
-		for _, d := range emb.rot[v] {
-			w := Head(g, d)
+		d0 := emb.first[v]
+		if d0 < 0 {
+			continue
+		}
+		for d := d0; ; {
+			w := int(emb.headD[d])
 			if subOf[w] >= 0 {
 				orders[i] = append(orders[i], subOf[w])
+			}
+			d = emb.next[d]
+			if d == d0 {
+				break
 			}
 		}
 	}
@@ -65,7 +73,7 @@ func (emb *Embedding) RestrictTo(vs []int, outerFace int) (*Restriction, error) 
 	for e := 0; e < g.M(); e++ {
 		ed := g.EdgeByID(e)
 		if subOf[ed.U] < 0 || subOf[ed.V] < 0 {
-			uf.Union(fs.FaceOf[2*e], fs.FaceOf[2*e+1])
+			uf.Union(int(fs.FaceOf[2*e]), int(fs.FaceOf[2*e+1]))
 		}
 	}
 	outerClass := uf.Find(outerFace)
@@ -83,7 +91,7 @@ func (emb *Embedding) RestrictTo(vs []int, outerFace int) (*Restriction, error) 
 		}
 		for dir := 0; dir < 2; dir++ {
 			d := 2*e + dir
-			if uf.Find(fs.FaceOf[d]) != outerClass {
+			if uf.Find(int(fs.FaceOf[d])) != outerClass {
 				continue
 			}
 			// Dart 2e goes U->V; the matching sub-dart goes su->sv. Edge

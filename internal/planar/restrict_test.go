@@ -128,7 +128,7 @@ func TestRestrictToInnerRegion(t *testing.T) {
 	// The restriction is outerplanar here: its outer face touches every
 	// vertex.
 	fs := res.Emb.TraceFaces()
-	of := fs.FaceOf[res.OuterDart]
+	of := int(fs.FaceOf[res.OuterDart])
 	seen := map[int]bool{}
 	for _, v := range fs.FaceVertices(of) {
 		seen[v] = true

@@ -60,7 +60,7 @@ func ForSubsetTraced(emb *planar.Embedding, outerFace int, vs []int, tr trace.Tr
 	}
 	// Root on the restricted outer face.
 	fs := res.Emb.TraceFaces()
-	root := fs.FaceVertices(fs.FaceOf[res.OuterDart])[0]
+	root := fs.FaceVertices(int(fs.FaceOf[res.OuterDart]))[0]
 	tree, err := spanning.BFSTree(res.G, root)
 	if err != nil {
 		return nil, err

@@ -160,7 +160,7 @@ func rootFaceCandidates(cfg *weights.Config) []int {
 	fs := cfg.Faces()
 	atRoot := map[int]bool{}
 	for _, d := range cfg.Emb.Rotation(root) {
-		atRoot[fs.FaceOf[d]] = true
+		atRoot[int(fs.FaceOf[d])] = true
 	}
 	seen := map[int]bool{root: true}
 	var out []int

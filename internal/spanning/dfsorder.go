@@ -20,6 +20,43 @@ func DFSOrders(t *Tree, childOrder [][]int) (piL, piR []int) {
 	return piL, piR
 }
 
+// DFSOrdersCSR is DFSOrders with the child order given in CSR form:
+// children[off[v]:off[v+1]] lists v's children in clockwise rotation order
+// starting just after the parent dart. This is the flat-substrate entry
+// point; it allocates only the two order arrays and the DFS stack.
+func DFSOrdersCSR(t *Tree, off, children []int32) (piL, piR []int) {
+	n := t.N()
+	piL = make([]int, n)
+	piR = make([]int, n)
+	runCSR(t, off, children, false, piR)
+	runCSR(t, off, children, true, piL)
+	return piL, piR
+}
+
+// runCSR is run over a CSR child-order array.
+func runCSR(t *Tree, off, children []int32, rev bool, pi []int) {
+	timer := 0
+	stack := make([]int32, 0, t.N())
+	stack = append(stack, int32(t.Root))
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pi[v] = timer
+		timer++
+		cs := children[off[v]:off[v+1]]
+		// Push children so that the first to visit is on top.
+		if rev {
+			// Visit descending position: push ascending.
+			stack = append(stack, cs...)
+		} else {
+			// Visit ascending position: push descending.
+			for i := len(cs) - 1; i >= 0; i-- {
+				stack = append(stack, cs[i])
+			}
+		}
+	}
+}
+
 // run fills pi with the DFS order visiting children in the given order
 // (reversed if rev).
 func run(t *Tree, childOrder [][]int, rev bool, pi []int) {

@@ -2,6 +2,10 @@
 // used throughout the paper: subtree sizes, ancestor tests, lowest common
 // ancestors, tree paths, re-rooting, and the LEFT/RIGHT DFS orders of a
 // spanning tree with respect to an embedding (Section 3.1.1).
+//
+// Tree state is arena-backed (DESIGN.md §13): children lists live in one CSR
+// child array, subtree-size/tin/tout share one contiguous int32 arena, and
+// the binary-lifting ancestor table is a single stride-n array.
 package spanning
 
 import (
@@ -15,16 +19,18 @@ type Tree struct {
 	Root   int
 	Parent []int // Parent[Root] == -1
 	Depth  []int
-	// children[v] lists v's children in parent-array insertion order
-	// (ascending vertex id).
-	children [][]int
-	size     []int
-	// tin/tout give a preorder interval [tin[v], tout[v]) containing exactly
-	// the vertices of the subtree rooted at v (using children order).
-	tin, tout []int
-	// up is the binary-lifting ancestor table: up[k][v] is the 2^k-th
-	// ancestor of v (or root).
-	up [][]int
+	// CSR children: the children of v, ascending by vertex id, are
+	// childList[childOff[v]:childOff[v+1]].
+	childOff  []int32
+	childList []int32
+	// arena holds size/tin/tout back to back: size = arena[0:n],
+	// tin = arena[n:2n], tout = arena[2n:3n].
+	arena           []int32
+	size, tin, tout []int32
+	// upFlat is the binary-lifting ancestor table, stride n:
+	// upFlat[k*n+v] is the 2^k-th ancestor of v (or root).
+	upFlat []int32
+	upLev  int
 }
 
 // NewFromParents builds a tree from a parent array. parent[root] must be -1
@@ -42,8 +48,9 @@ func NewFromParents(root int, parent []int) (*Tree, error) {
 		Parent: append([]int(nil), parent...),
 		Depth:  make([]int, n),
 	}
-	t.children = make([][]int, n)
-	indeg := make([]int, n)
+	// CSR children, filled by an ascending vertex scan so each list is
+	// ascending by child id.
+	t.childOff = make([]int32, n+1)
 	for v := 0; v < n; v++ {
 		p := parent[v]
 		if v == root {
@@ -52,8 +59,20 @@ func NewFromParents(root int, parent []int) (*Tree, error) {
 		if p < 0 || p >= n || p == v {
 			return nil, fmt.Errorf("spanning: invalid parent %d of %d", p, v)
 		}
-		t.children[p] = append(t.children[p], v)
-		indeg[v]++
+		t.childOff[p+1]++
+	}
+	for v := 0; v < n; v++ {
+		t.childOff[v+1] += t.childOff[v]
+	}
+	t.childList = make([]int32, t.childOff[n])
+	fill := append([]int32(nil), t.childOff[:n]...)
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		if v == root || p < 0 {
+			continue
+		}
+		t.childList[fill[p]] = int32(v)
+		fill[p]++
 	}
 	// Compute depths by BFS from root; detects unreachable vertices/cycles.
 	seen := 1
@@ -63,7 +82,8 @@ func NewFromParents(root int, parent []int) (*Tree, error) {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, c := range t.children[v] {
+		for _, c32 := range t.childList[t.childOff[v]:t.childOff[v+1]] {
+			c := int(c32)
 			if visited[c] {
 				return nil, fmt.Errorf("spanning: vertex %d visited twice", c)
 			}
@@ -116,9 +136,9 @@ func DeepDFSTree(g *graph.Graph, root int) (*Tree, error) {
 		}
 		visited[it.v] = true
 		parent[it.v] = it.from
-		for i := len(g.IncidentEdges(it.v)) - 1; i >= 0; i-- {
-			id := g.IncidentEdges(it.v)[i]
-			w := g.EdgeByID(id).Other(it.v)
+		ids := g.IncidentEdges(it.v)
+		for i := len(ids) - 1; i >= 0; i-- {
+			w := g.Other(int(ids[i]), it.v)
 			if !visited[w] {
 				stack = append(stack, item{w, it.v})
 			}
@@ -134,19 +154,20 @@ func DeepDFSTree(g *graph.Graph, root int) (*Tree, error) {
 
 func (t *Tree) computeIntervals() {
 	n := len(t.Parent)
-	t.size = make([]int, n)
-	t.tin = make([]int, n)
-	t.tout = make([]int, n)
-	timer := 0
+	t.arena = make([]int32, 3*n)
+	t.size = t.arena[0:n:n]
+	t.tin = t.arena[n : 2*n : 2*n]
+	t.tout = t.arena[2*n : 3*n : 3*n]
+	timer := int32(0)
 	// Iterative preorder with post-visit hooks.
-	type frame struct{ v, ci int }
-	stack := []frame{{t.Root, 0}}
+	type frame struct{ v, ci int32 }
+	stack := []frame{{int32(t.Root), 0}}
 	t.tin[t.Root] = timer
 	timer++
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		if f.ci < len(t.children[f.v]) {
-			c := t.children[f.v][f.ci]
+		if off := t.childOff[f.v] + f.ci; off < t.childOff[f.v+1] {
+			c := t.childList[off]
 			f.ci++
 			t.tin[c] = timer
 			timer++
@@ -162,18 +183,23 @@ func (t *Tree) computeIntervals() {
 // N returns the number of vertices.
 func (t *Tree) N() int { return len(t.Parent) }
 
-// Children returns v's children (ascending vertex id). The returned slice
-// must not be modified.
-func (t *Tree) Children(v int) []int { return t.children[v] }
+// Children returns v's children (ascending vertex id) as a view into the CSR
+// child array. The returned slice must not be modified.
+func (t *Tree) Children(v int) []int32 {
+	return t.childList[t.childOff[v]:t.childOff[v+1]]
+}
+
+// ChildCount returns the number of children of v.
+func (t *Tree) ChildCount(v int) int { return int(t.childOff[v+1] - t.childOff[v]) }
 
 // SubtreeSize returns n_T(v), the number of vertices in the subtree T_v.
-func (t *Tree) SubtreeSize(v int) int { return t.size[v] }
+func (t *Tree) SubtreeSize(v int) int { return int(t.size[v]) }
 
 // Interval returns v's preorder interval [lo, hi): the subtree rooted at v
 // contains exactly the vertices whose preorder time lies in the interval.
 // This is the DFS-order structure the serve layer answers interval and
 // ancestry queries from without re-running any pipeline.
-func (t *Tree) Interval(v int) (lo, hi int) { return t.tin[v], t.tout[v] }
+func (t *Tree) Interval(v int) (lo, hi int) { return int(t.tin[v]), int(t.tout[v]) }
 
 // IsAncestor reports whether a is an ancestor of v (every vertex is an
 // ancestor of itself, matching the paper's convention v ∈ T_u).
@@ -182,7 +208,7 @@ func (t *Tree) IsAncestor(a, v int) bool {
 }
 
 func (t *Tree) buildLifting() {
-	if t.up != nil {
+	if t.upFlat != nil {
 		return
 	}
 	n := len(t.Parent)
@@ -190,19 +216,21 @@ func (t *Tree) buildLifting() {
 	for 1<<logN < n {
 		logN++
 	}
-	t.up = make([][]int, logN+1)
-	t.up[0] = make([]int, n)
+	t.upLev = logN + 1
+	t.upFlat = make([]int32, t.upLev*n)
+	up0 := t.upFlat[:n]
 	for v := 0; v < n; v++ {
 		if t.Parent[v] < 0 {
-			t.up[0][v] = v
+			up0[v] = int32(v)
 		} else {
-			t.up[0][v] = t.Parent[v]
+			up0[v] = int32(t.Parent[v])
 		}
 	}
-	for k := 1; k <= logN; k++ {
-		t.up[k] = make([]int, n)
+	for k := 1; k < t.upLev; k++ {
+		cur := t.upFlat[k*n : (k+1)*n]
+		prev := t.upFlat[(k-1)*n : k*n]
 		for v := 0; v < n; v++ {
-			t.up[k][v] = t.up[k-1][t.up[k-1][v]]
+			cur[v] = prev[prev[v]]
 		}
 	}
 }
@@ -215,9 +243,10 @@ func (t *Tree) Ancestor(v, k int) int {
 		return t.Root
 	}
 	t.buildLifting()
-	for i := 0; k > 0 && i < len(t.up); i++ {
+	n := len(t.Parent)
+	for i := 0; k > 0 && i < t.upLev; i++ {
 		if k&1 == 1 {
-			v = t.up[i][v]
+			v = int(t.upFlat[i*n+v])
 		}
 		k >>= 1
 	}
@@ -233,9 +262,10 @@ func (t *Tree) LCA(u, v int) int {
 		return v
 	}
 	t.buildLifting()
-	for k := len(t.up) - 1; k >= 0; k-- {
-		if !t.IsAncestor(t.up[k][u], v) {
-			u = t.up[k][u]
+	n := len(t.Parent)
+	for k := t.upLev - 1; k >= 0; k-- {
+		if !t.IsAncestor(int(t.upFlat[k*n+u]), v) {
+			u = int(t.upFlat[k*n+u])
 		}
 	}
 	return t.Parent[u]
@@ -343,7 +373,7 @@ func (t *Tree) ReRoot(newRoot int) (*Tree, error) {
 // the separator algorithm falls back to the centroid; see Centroid.)
 func (t *Tree) SubtreeRangeVertex(lo, hi int) int {
 	for v := 0; v < len(t.Parent); v++ {
-		if s := t.size[v]; s >= lo && s <= hi {
+		if s := int(t.size[v]); s >= lo && s <= hi {
 			return v
 		}
 	}
@@ -360,9 +390,9 @@ func (t *Tree) Centroid() int {
 	v := t.Root
 	for {
 		next := -1
-		for _, c := range t.children[v] {
-			if 2*t.size[c] > n {
-				next = c
+		for _, c := range t.childList[t.childOff[v]:t.childOff[v+1]] {
+			if 2*int(t.size[c]) > n {
+				next = int(c)
 				break
 			}
 		}

@@ -228,7 +228,7 @@ func TestDFSOrdersSample(t *testing.T) {
 	// Clockwise child order = ascending ids here.
 	childOrder := make([][]int, tr.N())
 	for v := 0; v < tr.N(); v++ {
-		childOrder[v] = tr.Children(v)
+		childOrder[v] = childrenInts(tr, v)
 	}
 	piL, piR := DFSOrders(tr, childOrder)
 	// RIGHT order: 0,1,4,5,2,3,6,7,8,9.
@@ -264,7 +264,7 @@ func TestDFSOrderIntervalsProperty(t *testing.T) {
 		}
 		childOrder := make([][]int, n)
 		for v := 0; v < n; v++ {
-			cs := append([]int(nil), tr.Children(v)...)
+			cs := childrenInts(tr, v)
 			rng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
 			childOrder[v] = cs
 		}
@@ -302,7 +302,7 @@ func TestDFSOrderSiblingSymmetry(t *testing.T) {
 		tr, _ := NewFromParents(0, parent)
 		childOrder := make([][]int, n)
 		for v := 0; v < n; v++ {
-			childOrder[v] = tr.Children(v)
+			childOrder[v] = childrenInts(tr, v)
 		}
 		piL, piR := DFSOrders(tr, childOrder)
 		for v := 0; v < n; v++ {
@@ -416,4 +416,15 @@ func TestTPathShapeProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// childrenInts copies tr.Children(v) into a fresh []int for test helpers
+// that shuffle or store child lists.
+func childrenInts(tr *Tree, v int) []int {
+	cs := tr.Children(v)
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = int(c)
+	}
+	return out
 }

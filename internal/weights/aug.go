@@ -25,7 +25,8 @@ func (cfg *Config) AugWeight(ec EdgeCase, z int) int {
 		pi := cfg.Pi(ec)
 		z1 := t.MustFirstOnPath(ec.U, z)
 		pu := 0
-		for _, c := range cfg.childOrder[ec.U] {
+		for _, c := range cfg.children(ec.U) {
+			c := int(c)
 			if c != z1 && cfg.childInCone(ec, ec.U, c) && pi[c] < pi[z1] {
 				pu += t.SubtreeSize(c)
 			}
@@ -46,15 +47,15 @@ func (cfg *Config) AugWeight(ec EdgeCase, z int) int {
 func (cfg *Config) RightmostLeafIn(ec EdgeCase, z int) int {
 	pi := cfg.Pi(ec)
 	cur := z
-	for len(cfg.childOrder[cur]) > 0 {
-		cs := cfg.childOrder[cur]
+	for len(cfg.children(cur)) > 0 {
+		cs := cfg.children(cur)
 		best := cs[0]
 		for _, c := range cs[1:] {
 			if pi[c] > pi[best] {
 				best = c
 			}
 		}
-		cur = best
+		cur = int(best)
 	}
 	return cur
 }

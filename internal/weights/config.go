@@ -39,10 +39,12 @@ type Config struct {
 	faces *planar.Faces
 	// start[v] is the rotation index serving as normalized position 0:
 	// the parent dart for non-roots, an outer-face dart for the root.
-	start []int
-	// childOrder[v] lists v's tree children by ascending normalized
-	// position.
-	childOrder [][]int
+	start []int32
+	// rootAnchor is the dart of the root at normalized position 0.
+	rootAnchor int
+	// CSR child order: v's tree children by ascending normalized position
+	// are childList[childOff[v]:childOff[v+1]].
+	childOff, childList []int32
 }
 
 // NewConfig builds a planar configuration. The tree root must lie on the
@@ -58,58 +60,77 @@ func NewConfig(g *graph.Graph, emb *planar.Embedding, outerDart int, tree *spann
 		return nil, fmt.Errorf("weights: configuration needs at least one edge")
 	}
 	faces := emb.TraceFaces()
-	outer := faces.FaceOf[outerDart]
+	outer := int(faces.FaceOf[outerDart])
 	cfg := &Config{G: g, Emb: emb, Tree: tree, Outer: outer, faces: faces}
 
+	// startDart[v] is the dart at normalized position 0; start[v] its
+	// rotation index. Both are found without materializing rotations.
 	n := g.N()
-	cfg.start = make([]int, n)
+	cfg.start = make([]int32, n)
+	startDart := make([]int32, n)
 	for v := 0; v < n; v++ {
 		if v == tree.Root {
 			// Anchor the root at an outer-face corner: position 0 is a
 			// dart whose face is the outer face (the corner where the
 			// virtual parent r0 attaches).
 			anchor := -1
-			for _, d := range emb.Rotation(v) {
-				if faces.FaceOf[d] == outer {
-					anchor = emb.Pos(d)
-					break
+			d0 := emb.FirstDart(v)
+			if d0 >= 0 {
+				for d := d0; ; {
+					if int(faces.FaceOf[d]) == outer {
+						anchor = d
+						break
+					}
+					d = emb.NextCW(d)
+					if d == d0 {
+						break
+					}
 				}
 			}
 			if anchor < 0 {
 				return nil, fmt.Errorf("weights: tree root %d is not on the outer face", v)
 			}
-			cfg.start[v] = anchor
+			cfg.start[v] = int32(emb.Pos(anchor))
+			cfg.rootAnchor = anchor
+			startDart[v] = int32(anchor)
 			continue
 		}
 		id, ok := g.EdgeID(v, tree.Parent[v])
 		if !ok {
 			return nil, fmt.Errorf("weights: tree edge {%d,%d} not in graph", v, tree.Parent[v])
 		}
-		cfg.start[v] = emb.Pos(planar.DartFrom(g, id, v))
+		d := planar.DartFrom(g, id, v)
+		cfg.start[v] = int32(emb.Pos(d))
+		startDart[v] = int32(d)
 	}
 
-	// Children by ascending normalized position.
-	cfg.childOrder = make([][]int, n)
-	isChild := make([]bool, n)
+	// Children by ascending normalized position: walk each rotation
+	// clockwise from the start dart, keeping tree children.
+	cfg.childOff = make([]int32, n+1)
 	for v := 0; v < n; v++ {
-		for _, c := range tree.Children(v) {
-			isChild[c] = true
+		cfg.childOff[v+1] = cfg.childOff[v] + int32(tree.ChildCount(v))
+	}
+	cfg.childList = make([]int32, cfg.childOff[n])
+	fill := int32(0)
+	for v := 0; v < n; v++ {
+		if emb.FirstDart(v) < 0 {
+			continue
 		}
-		rot := emb.Rotation(v)
-		deg := len(rot)
-		for i := 0; i < deg; i++ {
-			d := rot[(cfg.start[v]+i)%deg]
-			w := planar.Head(g, d)
-			if isChild[w] && tree.Parent[w] == v {
-				cfg.childOrder[v] = append(cfg.childOrder[v], w)
+		s := int(startDart[v])
+		for d := s; ; {
+			w := emb.HeadOf(d)
+			if tree.Parent[w] == v {
+				cfg.childList[fill] = int32(w)
+				fill++
+			}
+			d = emb.NextCW(d)
+			if d == s {
+				break
 			}
 		}
-		for _, c := range tree.Children(v) {
-			isChild[c] = false
-		}
 	}
 
-	cfg.PiL, cfg.PiR = spanning.DFSOrders(tree, cfg.childOrder)
+	cfg.PiL, cfg.PiR = spanning.DFSOrdersCSR(tree, cfg.childOff, cfg.childList)
 	cfg.LoL, cfg.HiL = spanning.OrderIntervals(tree, cfg.PiL)
 	cfg.LoR, cfg.HiR = spanning.OrderIntervals(tree, cfg.PiR)
 	return cfg, nil
@@ -118,16 +139,14 @@ func NewConfig(g *graph.Graph, emb *planar.Embedding, outerDart int, tree *spann
 // RootAnchor returns the dart of the root serving as normalized position 0:
 // a dart on the outer face, at the corner where the paper's virtual root r0
 // conceptually attaches.
-func (cfg *Config) RootAnchor() int {
-	return cfg.Emb.Rotation(cfg.Tree.Root)[cfg.start[cfg.Tree.Root]]
-}
+func (cfg *Config) RootAnchor() int { return cfg.rootAnchor }
 
 // TPos returns the normalized rotation position of dart d at its tail:
 // the parent dart (or the root anchor) has position 0.
 func (cfg *Config) TPos(d int) int {
-	v := planar.Tail(cfg.G, d)
+	v := cfg.Emb.TailOf(d)
 	deg := cfg.G.Degree(v)
-	return ((cfg.Emb.Pos(d)-cfg.start[v])%deg + deg) % deg
+	return ((cfg.Emb.Pos(d)-int(cfg.start[v]))%deg + deg) % deg
 }
 
 // TPosOf returns the normalized position of neighbour w in v's rotation.
@@ -139,8 +158,22 @@ func (cfg *Config) TPosOf(v, w int) int {
 	return cfg.TPos(planar.DartFrom(cfg.G, id, v))
 }
 
-// ChildOrder returns v's tree children by ascending normalized position.
-func (cfg *Config) ChildOrder(v int) []int { return cfg.childOrder[v] }
+// ChildOrder returns v's tree children by ascending normalized position,
+// as a freshly allocated []int. Hot paths use the internal CSR view.
+func (cfg *Config) ChildOrder(v int) []int {
+	seg := cfg.children(v)
+	out := make([]int, len(seg))
+	for i, c := range seg {
+		out[i] = int(c)
+	}
+	return out
+}
+
+// children returns the CSR view of v's tree children by ascending
+// normalized position. The slice must not be modified.
+func (cfg *Config) children(v int) []int32 {
+	return cfg.childList[cfg.childOff[v]:cfg.childOff[v+1]]
+}
 
 // Faces returns the face structure of the embedding.
 func (cfg *Config) Faces() *planar.Faces { return cfg.faces }
@@ -148,7 +181,7 @@ func (cfg *Config) Faces() *planar.Faces { return cfg.faces }
 // FundamentalEdges returns the IDs of the non-tree edges of G
 // (the T-real fundamental edges).
 func (cfg *Config) FundamentalEdges() []int {
-	onTree := make(map[int]bool, cfg.G.N())
+	onTree := make([]bool, cfg.G.M())
 	for v, p := range cfg.Tree.Parent {
 		if p >= 0 {
 			if id, ok := cfg.G.EdgeID(v, p); ok {
@@ -156,7 +189,7 @@ func (cfg *Config) FundamentalEdges() []int {
 			}
 		}
 	}
-	var out []int
+	out := make([]int, 0, cfg.G.M()-(cfg.G.N()-1))
 	for e := 0; e < cfg.G.M(); e++ {
 		if !onTree[e] {
 			out = append(out, e)
@@ -167,8 +200,8 @@ func (cfg *Config) FundamentalEdges() []int {
 
 // Canonical orients a fundamental edge's endpoints so that PiL[u] < PiL[v].
 func (cfg *Config) Canonical(e int) (u, v int) {
-	ed := cfg.G.EdgeByID(e)
-	u, v = ed.U, ed.V
+	eu, ev := cfg.G.EndpointsOf(e)
+	u, v = int(eu), int(ev)
 	if cfg.PiL[u] > cfg.PiL[v] {
 		u, v = v, u
 	}

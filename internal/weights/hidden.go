@@ -83,7 +83,8 @@ func (cfg *Config) sweptPrefix(ec EdgeCase, z int) []int {
 	}
 	if z != ec.U && t.IsAncestor(ec.U, z) {
 		z1 := t.MustFirstOnPath(ec.U, z)
-		for _, c := range cfg.childOrder[ec.U] {
+		for _, c := range cfg.children(ec.U) {
+			c := int(c)
 			if c != z1 && cfg.childInCone(ec, ec.U, c) && pi[c] < pi[z1] {
 				mark(c)
 			}
@@ -94,7 +95,8 @@ func (cfg *Config) sweptPrefix(ec EdgeCase, z int) []int {
 			}
 		}
 	} else {
-		for _, c := range cfg.childOrder[ec.U] {
+		for _, c := range cfg.children(ec.U) {
+			c := int(c)
 			if cfg.childInCone(ec, ec.U, c) {
 				mark(c)
 			}

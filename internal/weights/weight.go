@@ -52,7 +52,8 @@ func (cfg *Config) PFace(ec EdgeCase, x int) int {
 	case !ec.Ancestor && x == ec.U:
 		// Children of u with t_u(c) < t_u(v) are inside (Claim 1(ii)).
 		tv := cfg.TPosOf(ec.U, ec.V)
-		for _, c := range cfg.childOrder[ec.U] {
+		for _, c := range cfg.children(ec.U) {
+			c := int(c)
 			if cfg.TPosOf(ec.U, c) < tv {
 				sum += t.SubtreeSize(c)
 			}
@@ -60,7 +61,8 @@ func (cfg *Config) PFace(ec EdgeCase, x int) int {
 	case !ec.Ancestor && x == ec.V:
 		// Children of v with t_v(c) > t_v(u) are inside (Claim 1(iii)).
 		tu := cfg.TPosOf(ec.V, ec.U)
-		for _, c := range cfg.childOrder[ec.V] {
+		for _, c := range cfg.children(ec.V) {
+			c := int(c)
 			if cfg.TPosOf(ec.V, c) > tu {
 				sum += t.SubtreeSize(c)
 			}
@@ -70,7 +72,8 @@ func (cfg *Config) PFace(ec EdgeCase, x int) int {
 		// (Claim 4(i)); orientation decides which side of z.
 		tv := cfg.TPosOf(ec.U, ec.V)
 		tz := cfg.TPosOf(ec.U, ec.Z)
-		for _, c := range cfg.childOrder[ec.U] {
+		for _, c := range cfg.children(ec.U) {
+			c := int(c)
 			if c == ec.Z {
 				continue
 			}
@@ -88,7 +91,8 @@ func (cfg *Config) PFace(ec EdgeCase, x int) int {
 	case ec.Ancestor && x == ec.V:
 		// Children of v on the inside of the corner at v (Claim 4(ii)).
 		tu := cfg.TPosOf(ec.V, ec.U)
-		for _, c := range cfg.childOrder[ec.V] {
+		for _, c := range cfg.children(ec.V) {
+			c := int(c)
 			tc := cfg.TPosOf(ec.V, c)
 			if ec.UseLeft {
 				if tc > tu {

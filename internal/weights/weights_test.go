@@ -260,7 +260,7 @@ func outerDartIn(ng interface{ M() int }, cfg *Config) int {
 	// Any dart of the original outer face still borders the outer region:
 	// pick a dart of the outer face cycle from the original embedding.
 	fs := cfg.Emb.TraceFaces()
-	return fs.Cycles[cfg.Outer][0]
+	return int(fs.Cycle(cfg.Outer)[0])
 }
 
 // TestHiddenMatchesCompatibility is the Lemma 6 property test: a leaf
