@@ -25,6 +25,16 @@
 // hit-rate, so `benchjson -serve -n 10000 -o BENCH_serve.json` regenerates
 // that baseline.
 //
+// With -engines it measures the separator engine registry
+// (internal/sepengine): for every (engine, family, size) cell it runs the
+// engine on a fresh configuration and records wall time, cycle length,
+// achieved balance and the distributed certification verdict of the
+// output. Engines that legitimately fail on a family record a
+// "no-separator" row — honest gaps in an engine's coverage are part of the
+// committed matrix. `benchjson -engines -families
+// wheel,grid,cylinderish,stacked,polygon -o BENCH_engines.json`
+// regenerates that baseline.
+//
 // Usage:
 //
 //	benchjson -o BENCH_congest.json
@@ -32,10 +42,12 @@
 //	benchjson -cert -o BENCH_cert.json
 //	benchjson -chaos -n 256 -families grid,cylinderish -o BENCH_chaos.json
 //	benchjson -serve -n 10000 -families grid,stacked -o BENCH_serve.json
+//	benchjson -engines -families wheel,grid,stacked -engine-sizes 256,1024
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +60,7 @@ import (
 	"planardfs/internal/congest"
 	"planardfs/internal/gen"
 	"planardfs/internal/separator"
+	"planardfs/internal/sepengine"
 	"planardfs/internal/spanning"
 	"planardfs/internal/weights"
 )
@@ -100,6 +113,8 @@ func run() error {
 	certMode := flag.Bool("cert", false, "benchmark the certification layer instead of the round engine")
 	chaosMode := flag.Bool("chaos", false, "benchmark the supervised recovery runtime instead of the round engine")
 	serveMode := flag.Bool("serve", false, "benchmark the simulation service (cold build vs cached queries) instead of the round engine")
+	enginesMode := flag.Bool("engines", false, "benchmark the separator engine registry (engine x family x size matrix) instead of the round engine")
+	engineSizes := flag.String("engine-sizes", "256,1024", "comma-separated vertex counts for the -engines matrix")
 	scaling := flag.Bool("scaling", false, "append scaling rows: instance construction across -sizes, plus BFS runs up to -scale-bfs-max")
 	sizes := flag.String("sizes", "1000,10000,100000,1000000", "comma-separated vertex counts for -scaling rows")
 	scaleBFSMax := flag.Int("scale-bfs-max", 1000000, "largest -scaling size that also gets a BFS round-engine row")
@@ -113,6 +128,9 @@ func run() error {
 	}
 	if *serveMode {
 		return runServe(*out, *n, *families, *workers)
+	}
+	if *enginesMode {
+		return runEngines(*out, *families, *engineSizes)
 	}
 
 	file := File{
@@ -288,6 +306,142 @@ func measureConstruct(family string, n int) (Entry, error) {
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		AllocsPerOp: res.AllocsPerOp(),
 	}, nil
+}
+
+// EngineEntry is one (engine, family, n) cell of the separator engine
+// matrix. Cycle length, balance, charged rounds and the cert verdict are
+// deterministic properties of the run; per-op numbers are measured on the
+// machine named by the file header. A "no-separator" verdict marks an
+// honest typed failure (the engine covers no balanced cycle on this
+// instance); such rows carry zero cycle length and balance.
+type EngineEntry struct {
+	EngineName  string  `json:"engine"`
+	Family      string  `json:"family"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	CycleLen    int     `json:"cycle_len"`
+	Balance     float64 `json:"balance"`
+	Rounds      int     `json:"rounds"`
+	Phase       string  `json:"phase"`
+	CertVerdict string  `json:"cert_verdict"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// EngineFile is the schema of BENCH_engines.json.
+type EngineFile struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Engines   []string      `json:"engines"`
+	Entries   []EngineEntry `json:"entries"`
+}
+
+func runEngines(out, families, sizesFlag string) error {
+	file := EngineFile{
+		Schema:    "planardfs/bench-engines/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Engines:   sepengine.Names(),
+	}
+	for _, fam := range strings.Split(families, ",") {
+		for _, szStr := range strings.Split(sizesFlag, ",") {
+			var sz int
+			if _, err := fmt.Sscanf(strings.TrimSpace(szStr), "%d", &sz); err != nil {
+				return fmt.Errorf("bad -engine-sizes entry %q: %w", szStr, err)
+			}
+			for _, engine := range sepengine.Names() {
+				e, err := measureEngine(engine, fam, sz)
+				if err != nil {
+					return fmt.Errorf("%s/%s/%d: %w", engine, fam, sz, err)
+				}
+				file.Entries = append(file.Entries, e)
+				fmt.Fprintf(os.Stderr, "%-18s %-12s n=%-6d cycle=%-4d bal=%.3f %-12s %.2fms/op\n",
+					e.EngineName, e.Family, e.N, e.CycleLen, e.Balance, e.CertVerdict,
+					float64(e.NsPerOp)/1e6)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// measureEngine runs one engine on one fresh configuration: a probe run
+// decides the row's deterministic columns (and whether this is a
+// no-separator row), then the benchmark harness measures the engine call.
+func measureEngine(engine, family string, n int) (EngineEntry, error) {
+	in, err := gen.ByName(family, n, 1)
+	if err != nil {
+		return EngineEntry{}, err
+	}
+	g := in.G
+	fs := in.Emb.TraceFaces()
+	root := fs.FaceVertices(in.OuterFace())[0]
+	tree, err := spanning.BFSTree(g, root)
+	if err != nil {
+		return EngineEntry{}, err
+	}
+	cfg, err := weights.NewConfig(g, in.Emb, in.OuterDart, tree)
+	if err != nil {
+		return EngineEntry{}, err
+	}
+	opts := sepengine.Options{Seed: 1}
+
+	entry := EngineEntry{EngineName: engine, Family: family, N: g.N(), M: g.M()}
+	probe, err := sepengine.Find(engine, cfg, opts)
+	switch {
+	case err == nil:
+		entry.CycleLen = probe.CycleLen
+		entry.Balance = probe.Balance
+		entry.Rounds = probe.Rounds
+		entry.Phase = probe.Sep.Phase.String()
+		v, err := cert.CertifySeparator(g, probe.Sep, cert.Options{})
+		if err != nil {
+			return EngineEntry{}, err
+		}
+		if v.OK {
+			entry.CertVerdict = "accept"
+		} else {
+			entry.CertVerdict = fmt.Sprintf("reject at %d vertices", len(v.Rejectors))
+		}
+	case errors.Is(err, sepengine.ErrNoSeparator):
+		entry.CertVerdict = "no-separator"
+	default:
+		return EngineEntry{}, err
+	}
+
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sepengine.Find(engine, cfg, opts); err != nil &&
+				!errors.Is(err, sepengine.ErrNoSeparator) {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return EngineEntry{}, benchErr
+	}
+	entry.NsPerOp = res.NsPerOp()
+	entry.BytesPerOp = res.AllocedBytesPerOp()
+	entry.AllocsPerOp = res.AllocsPerOp()
+	return entry, nil
 }
 
 // CertEntry is one (scheme, family) certification measurement. Label width

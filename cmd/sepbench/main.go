@@ -6,8 +6,16 @@
 //	sepbench -experiment e1 [-sizes 64,256,1024,4096] [-families grid,stacked]
 //	sepbench -trace out.json -metrics   # instrumented separator run
 //	sepbench -certify                   # self-check one separator run
+//	sepbench -certify -engine lipton-tarjan
+//	                                    # self-check a specific engine
+//	sepbench -engine list               # print the registered engines
 //	sepbench -recover -chaos structural=4 -chaos-seed 7
 //	                                    # supervised separator under faults
+//
+// -engine selects the separator backend for -certify from the
+// internal/sepengine registry; "-engine list" prints the registered
+// engines and exits. Unknown engine names fail with an error naming the
+// available set.
 //
 // -certify exits nonzero when a verifier rejects; -recover exits nonzero
 // when the supervised runtime exhausts its attempts without a certified
@@ -27,6 +35,7 @@ import (
 	"planardfs/internal/exp"
 	"planardfs/internal/gen"
 	"planardfs/internal/separator"
+	"planardfs/internal/sepengine"
 	"planardfs/internal/spanning"
 	"planardfs/internal/trace"
 	"planardfs/internal/weights"
@@ -51,7 +60,15 @@ func run() error {
 	chaosSpec := flag.String("chaos", "", "fault spec for -recover, e.g. structural=4 (see internal/chaos.ParseSpec)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed deriving the deterministic fault plan")
 	recoverRun := flag.Bool("recover", false, "run one supervised separator construction (certify, retry with backoff, fall back fault-free); exits nonzero on recovery exhaustion")
+	engine := flag.String("engine", "", "separator engine for -certify (default: the Theorem 1 engine); \"list\" prints the registered engines")
 	flag.Parse()
+
+	if *engine == "list" {
+		for _, name := range sepengine.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
 
 	sizes, err := parseInts(*sizesFlag)
 	if err != nil {
@@ -64,7 +81,7 @@ func run() error {
 	}
 
 	if *certify {
-		return certifyRun(fams[0], sizes[len(sizes)-1], *seed)
+		return certifyRun(fams[0], sizes[len(sizes)-1], *seed, *engine)
 	}
 
 	if *traceOut != "" || *metrics {
@@ -188,10 +205,11 @@ func run() error {
 	return nil
 }
 
-// certifyRun finds a Theorem 1 cycle separator on one generated instance
-// and runs the distributed certification verifiers on the BFS tree of the
-// configuration, the embedding, and the separator itself.
-func certifyRun(family string, n int, seed int64) error {
+// certifyRun finds a cycle separator of one generated instance with the
+// named engine (empty: the Theorem 1 engine) and runs the distributed
+// certification verifiers on the BFS tree of the configuration, the
+// embedding, and the separator itself.
+func certifyRun(family string, n int, seed int64, engine string) error {
 	in, err := gen.ByName(family, n, seed)
 	if err != nil {
 		return err
@@ -206,12 +224,13 @@ func certifyRun(family string, n int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	sep, err := separator.Find(cfg)
+	res, err := sepengine.Find(engine, cfg, sepengine.Options{Seed: seed})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("certifying separator run: %s n=%d m=%d sepLen=%d phase=%s\n",
-		in.Name, in.G.N(), in.G.M(), len(sep.Path), sep.Phase)
+	sep := res.Sep
+	fmt.Printf("certifying separator run: %s n=%d m=%d engine=%s sepLen=%d phase=%s balance=%.3f rounds=%d\n",
+		in.Name, in.G.N(), in.G.M(), res.Engine, len(sep.Path), sep.Phase, res.Balance, res.Rounds)
 	verdicts := make([]*cert.Verdict, 0, 3)
 	tv, err := cert.CertifySpanningTree(in.G, tree, cert.Options{})
 	if err != nil {

@@ -32,6 +32,10 @@ type Trace struct {
 	MaxJoinSubPhases int
 	// SeparatorPhases tallies which separator phases produced the cuts.
 	SeparatorPhases map[separator.Phase]int
+	// EngineFallbacks counts per-component separator calls on which a
+	// non-default engine failed softly and the run fell back to the
+	// Theorem 1 engine (always zero when building with the default).
+	EngineFallbacks int
 }
 
 // Build computes a DFS tree of the embedded planar graph rooted at root by
@@ -48,6 +52,15 @@ func Build(g *graph.Graph, emb *planar.Embedding, outerDart, root int) (*Partial
 // dfs-layer span per JOIN sub-phase, all stamped with the charged round
 // clock under the paper cost model.
 func BuildTraced(g *graph.Graph, emb *planar.Embedding, outerDart, root int, tracer trace.Tracer) (*PartialTree, *Trace, error) {
+	return BuildWithSeparator(g, emb, outerDart, root, tracer, separator.Find)
+}
+
+// BuildWithSeparator is BuildTraced with the per-component separator
+// computation swapped out: find runs on each remaining component's
+// restricted configuration (see separator.ForSubsetWith). The caller keeps
+// any engine-fallback policy inside find and may record its fallback count
+// on the returned Trace.
+func BuildWithSeparator(g *graph.Graph, emb *planar.Embedding, outerDart, root int, tracer trace.Tracer, find separator.FindFunc) (*PartialTree, *Trace, error) {
 	if !g.Connected() {
 		return nil, nil, fmt.Errorf("dfs: graph is not connected")
 	}
@@ -92,7 +105,7 @@ func BuildTraced(g *graph.Graph, emb *planar.Embedding, outerDart, root int, tra
 			if tracer.Enabled() {
 				septr = tracer
 			}
-			sep, err := separator.ForSubsetTraced(emb, outerFace, comp, septr)
+			sep, err := separator.ForSubsetWith(emb, outerFace, comp, septr, find)
 			if err != nil {
 				return nil, nil, fmt.Errorf("dfs: phase %d: %w", tr.Phases, err)
 			}

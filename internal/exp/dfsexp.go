@@ -1,15 +1,15 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
-	"math/rand"
 
 	"planardfs/internal/congest"
 	"planardfs/internal/dfs"
 	"planardfs/internal/dist"
 	"planardfs/internal/gen"
-	"planardfs/internal/randsep"
 	"planardfs/internal/separator"
+	"planardfs/internal/sepengine"
 	"planardfs/internal/shortcut"
 )
 
@@ -190,11 +190,22 @@ func E10(family string, n int, rates []float64, trials int, baseSeed int64) ([]E
 			if 3*separator.VerifyBalance(in.G, dsep.Path) <= 2*nn {
 				row.DetOK++
 			}
-			rng := rand.New(rand.NewSource(seed * 1337))
-			res, err := randsep.Find(cfg, rate, 0.03, rng)
-			totalSamples += res.Samples
-			if err == nil && 3*separator.VerifyBalance(in.G, res.Sep.Path) <= 2*nn {
+			// Through the engine registry; the seed-threading contract is
+			// unchanged (trial seed * 1337, as documented in PR 4), and a
+			// registry success implies balance (the engine rejects
+			// unbalanced faces as a soft failure).
+			res, err := sepengine.Find("randomized", cfg, sepengine.Options{
+				Seed: seed * 1337, SampleRate: rate, Margin: 0.03,
+			})
+			if err == nil {
+				totalSamples += res.Samples
 				row.RandOK++
+			} else {
+				var nse *sepengine.NoSeparatorError
+				if !errors.As(err, &nse) {
+					return nil, err
+				}
+				totalSamples += nse.Samples
 			}
 		}
 		row.AvgSamples = float64(totalSamples) / float64(row.Trials)

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -161,6 +162,27 @@ func TestStackedTriangulationDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+// TestGenerationAllocsBounded gates the generation path of the stacked
+// builder: the dart arena is sized up front, so growing the triangulation
+// to n vertices costs a constant number of allocations (the arena arrays
+// plus the builder struct), not ~2 per inserted vertex.
+func TestGenerationAllocsBounded(t *testing.T) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(5))
+	allocs := testing.AllocsPerRun(10, func() {
+		tb := newTriBuilder(n)
+		for tb.n < n {
+			tb.stack(rng.Intn(len(tb.faces)))
+		}
+		if tb.n != n || len(tb.faces) != 2*n-5 {
+			t.Fatalf("built %d vertices, %d faces", tb.n, len(tb.faces))
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("generation allocates %.1f allocs/run, want a constant <= 8", allocs)
 	}
 }
 

@@ -10,60 +10,85 @@ import (
 
 // triBuilder incrementally builds a stacked planar triangulation by
 // repeatedly inserting a fresh vertex inside an inner triangular face and
-// connecting it to the three corners. It maintains, for every vertex, the
-// clockwise neighbour order, and the list of inner faces as oriented
-// triples (a, b, c) traversed a->b->c with the interior on the left.
+// connecting it to the three corners. The rotation system lives in a flat
+// dart arena: darts are allocated in reverse pairs (rev(d) = d^1), head[d]
+// is the vertex dart d points at, next[d] links d to its clockwise
+// successor in the rotation of its tail (-1 terminates), and first[v]
+// starts vertex v's list. Faces are oriented dart triples (d_ab, d_bc,
+// d_ca) traced a->b->c with the interior on the left, which makes every
+// rotation splice during a stack O(1): the dart to insert after is known
+// from the face, never searched for. All arrays are sized up front from
+// the target vertex count, so the generation loop does not allocate.
 type triBuilder struct {
-	nbrs  [][]int // clockwise neighbour lists
-	faces [][3]int
+	head  []int32    // head[d]: vertex dart d points to
+	next  []int32    // next[d]: clockwise successor at tail(d), -1 at end
+	first []int32    // first[v]: first dart of v's clockwise rotation
+	faces [][3]int32 // inner faces as oriented dart triples
+	n     int        // vertices created so far
 }
 
-func newTriBuilder() *triBuilder {
-	// Initial triangle 0,1,2 with ccw coordinates (0,0), (1,0), (0.5,1):
-	// clockwise rotations rot[0]=[2,1], rot[1]=[2,0]... wait at vertex 1 the
-	// clockwise order from north is [2,0]; at 2 it is [1,0].
-	return &triBuilder{
-		nbrs:  [][]int{{2, 1}, {2, 0}, {1, 0}},
-		faces: [][3]int{{0, 1, 2}}, // inner face traced 0->1->2 (ccw)
+// newTriBuilder seeds the initial triangle 0,1,2 (ccw coordinates (0,0),
+// (1,0), (0.5,1); clockwise rotations [2,1] at 0, [2,0] at 1, [1,0] at 2)
+// with arrays presized for a triangulation on n vertices: 3n-6 edges,
+// 6n-12 darts, 2n-5 inner faces.
+func newTriBuilder(n int) *triBuilder {
+	tb := &triBuilder{
+		head:  make([]int32, 0, 6*n-12),
+		next:  make([]int32, 0, 6*n-12),
+		first: make([]int32, n),
+		faces: make([][3]int32, 0, 2*n-5),
+		n:     3,
 	}
+	d01 := tb.newPair(0, 1)
+	d02 := tb.newPair(0, 2)
+	d12 := tb.newPair(1, 2)
+	tb.first[0], tb.next[d02] = d02, d01
+	tb.first[1], tb.next[d12] = d12, d01^1
+	tb.first[2], tb.next[d12^1] = d12^1, d02^1
+	// Inner face traced 0->1->2 (ccw): darts 0->1, 1->2, 2->0.
+	tb.faces = append(tb.faces, [3]int32{d01, d12, d02 ^ 1})
+	return tb
 }
 
-// indexOf returns the position of w in v's neighbour list.
-func (tb *triBuilder) indexOf(v, w int) int {
-	for i, x := range tb.nbrs[v] {
-		if x == w {
-			return i
-		}
-	}
-	panic(fmt.Sprintf("gen: %d not a neighbour of %d", w, v))
+// newPair allocates the dart pair of edge {u,w} and returns the u->w dart;
+// its reverse w->u is the returned value xor 1. Both start list-terminal.
+func (tb *triBuilder) newPair(u, w int) int32 {
+	d := int32(len(tb.head))
+	tb.head = append(tb.head, int32(w), int32(u))
+	tb.next = append(tb.next, -1, -1)
+	return d
 }
 
-// insertAfter inserts x into v's clockwise neighbour list immediately after
-// neighbour w.
-func (tb *triBuilder) insertAfter(v, w, x int) {
-	i := tb.indexOf(v, w)
-	lst := tb.nbrs[v]
-	lst = append(lst, 0)
-	copy(lst[i+2:], lst[i+1:])
-	lst[i+1] = x
-	tb.nbrs[v] = lst
+// insertAfter splices dart d into the rotation of its tail immediately
+// after dart prev (which must share the same tail).
+func (tb *triBuilder) insertAfter(prev, d int32) {
+	tb.next[d] = tb.next[prev]
+	tb.next[prev] = d
 }
 
 // stack inserts a new vertex inside face index f and returns its id.
 func (tb *triBuilder) stack(f int) int {
-	a, b, c := tb.faces[f][0], tb.faces[f][1], tb.faces[f][2]
-	x := len(tb.nbrs)
-	// New vertex sees the ccw boundary a,b,c; its own clockwise order is the
-	// reverse.
-	tb.nbrs = append(tb.nbrs, []int{c, b, a})
+	dab, dbc, dca := tb.faces[f][0], tb.faces[f][1], tb.faces[f][2]
+	a, b, c := int(tb.head[dca]), int(tb.head[dab]), int(tb.head[dbc])
+	x := tb.n
+	tb.n++
+	dax := tb.newPair(a, x)
+	dbx := tb.newPair(b, x)
+	dcx := tb.newPair(c, x)
 	// At a, the face corner lies clockwise-between darts a->c and a->b:
-	// insert x after c. Analogously at b (after a) and c (after b).
-	tb.insertAfter(a, c, x)
-	tb.insertAfter(b, a, x)
-	tb.insertAfter(c, b, x)
+	// insert a->x after a->c, which is rev(d_ca). Analogously at b (after
+	// b->a = rev(d_ab)) and c (after c->b = rev(d_bc)).
+	tb.insertAfter(dca^1, dax)
+	tb.insertAfter(dab^1, dbx)
+	tb.insertAfter(dbc^1, dcx)
+	// The new vertex sees the ccw boundary a,b,c; its own clockwise order
+	// is the reverse: c, b, a.
+	tb.first[x] = dcx ^ 1
+	tb.next[dcx^1] = dbx ^ 1
+	tb.next[dbx^1] = dax ^ 1
 	// Replace face f by (a,b,x) and append (b,c,x), (c,a,x).
-	tb.faces[f] = [3]int{a, b, x}
-	tb.faces = append(tb.faces, [3]int{b, c, x}, [3]int{c, a, x})
+	tb.faces[f] = [3]int32{dab, dbx, dax ^ 1}
+	tb.faces = append(tb.faces, [3]int32{dbc, dcx, dbx ^ 1}, [3]int32{dca, dax, dcx ^ 1})
 	return x
 }
 
@@ -71,10 +96,11 @@ func (tb *triBuilder) stack(f int) int {
 // non-nil, only edges {u,v} with keep(u,v) true are included (neighbour
 // orders are filtered accordingly), which preserves planarity.
 func (tb *triBuilder) build(name string, keep func(u, v int) bool) (*Instance, error) {
-	n := len(tb.nbrs)
+	n := tb.n
 	g := graph.NewWithCapacity(n, 3*n)
 	for v := 0; v < n; v++ {
-		for _, w := range tb.nbrs[v] {
+		for d := tb.first[v]; d >= 0; d = tb.next[d] {
+			w := int(tb.head[d])
 			if v < w && (keep == nil || keep(v, w)) {
 				g.MustAddEdge(v, w)
 			}
@@ -87,7 +113,8 @@ func (tb *triBuilder) build(name string, keep func(u, v int) bool) (*Instance, e
 	}
 	darts := make([]int32, 0, 2*g.M())
 	for v := 0; v < n; v++ {
-		for _, w := range tb.nbrs[v] {
+		for d := tb.first[v]; d >= 0; d = tb.next[d] {
+			w := int(tb.head[d])
 			if keep == nil || keep(min(v, w), max(v, w)) {
 				id, ok := g.EdgeID(v, w)
 				if !ok {
@@ -127,8 +154,8 @@ func StackedTriangulation(n int, seed int64) (*Instance, error) {
 		return nil, fmt.Errorf("gen: triangulation needs n >= 3, got %d", n)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	tb := newTriBuilder()
-	for len(tb.nbrs) < n {
+	tb := newTriBuilder(n)
+	for tb.n < n {
 		tb.stack(rng.Intn(len(tb.faces)))
 	}
 	return tb.build(fmt.Sprintf("stacked-%d", n), nil)
@@ -147,17 +174,17 @@ func SparsePlanar(n int, dropProb float64, seed int64) (*Instance, error) {
 		return nil, fmt.Errorf("gen: sparse planar needs n >= 3, got %d", n)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	tb := newTriBuilder()
-	for len(tb.nbrs) < n {
+	tb := newTriBuilder(n)
+	for tb.n < n {
 		tb.stack(rng.Intn(len(tb.faces)))
 	}
 	// Spanning tree edges via union-find over the full triangulation,
 	// scanning edges in a shuffled order for variety.
 	type edge struct{ u, v int }
-	var all []edge
+	all := make([]edge, 0, 3*n-6)
 	for v := 0; v < n; v++ {
-		for _, w := range tb.nbrs[v] {
-			if v < w {
+		for d := tb.first[v]; d >= 0; d = tb.next[d] {
+			if w := int(tb.head[d]); v < w {
 				all = append(all, edge{v, w})
 			}
 		}

@@ -47,6 +47,19 @@ func ForSubset(emb *planar.Embedding, outerFace int, vs []int) (*Separator, erro
 // tracing): the restricted configuration carries the tracer, so the whole
 // separator phase structure of the subset lands in the trace.
 func ForSubsetTraced(emb *planar.Embedding, outerFace int, vs []int, tr trace.Tracer) (*Separator, error) {
+	return ForSubsetWith(emb, outerFace, vs, tr, Find)
+}
+
+// FindFunc computes a cycle separator of a configuration's graph. Find is
+// the Theorem 1 implementation; internal/sepengine adapts its registered
+// backends to this shape so the DFS pipeline can run any engine.
+type FindFunc func(cfg *weights.Config) (*Separator, error)
+
+// ForSubsetWith is ForSubsetTraced with the separator computation swapped
+// out: the subset is restricted, configured and rooted exactly as in the
+// Theorem 1 path, then find runs on the restricted configuration and its
+// result is mapped back to original vertex IDs.
+func ForSubsetWith(emb *planar.Embedding, outerFace int, vs []int, tr trace.Tracer, find FindFunc) (*Separator, error) {
 	res, err := emb.RestrictTo(vs, outerFace)
 	if err != nil {
 		return nil, err
@@ -70,7 +83,7 @@ func ForSubsetTraced(emb *planar.Embedding, outerFace int, vs []int, tr trace.Tr
 		return nil, err
 	}
 	cfg.Tracer = tr
-	sep, err := Find(cfg)
+	sep, err := find(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -54,6 +54,12 @@ const (
 	// PhaseExhaustive: the harness safety net found the separator by
 	// exhaustive search (counted by experiments; must not trigger).
 	PhaseExhaustive
+	// PhaseLevelCycle: a BFS level-region boundary cycle, produced by the
+	// Har-Peled–Nayyeri engine (internal/sepengine).
+	PhaseLevelCycle
+	// PhaseDualTree: a fundamental cycle selected by tree-weight
+	// decomposition over the dual of a BFS tree (internal/sepengine).
+	PhaseDualTree
 )
 
 func (p Phase) String() string {
@@ -76,6 +82,10 @@ func (p Phase) String() string {
 		return "sparse-virtual"
 	case PhaseExhaustive:
 		return "exhaustive"
+	case PhaseLevelCycle:
+		return "level-cycle"
+	case PhaseDualTree:
+		return "dual-tree"
 	}
 	return fmt.Sprintf("phase(%d)", int(p))
 }

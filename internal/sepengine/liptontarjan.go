@@ -1,0 +1,81 @@
+package sepengine
+
+import (
+	"planardfs/internal/dist"
+	"planardfs/internal/separator"
+	"planardfs/internal/weights"
+)
+
+// liptonTarjanEngine is the classical fundamental-cycle separator of
+// Lipton and Tarjan (1979), Lemma 2: in a triangulated planar graph,
+// some non-tree edge's fundamental cycle has at most 2/3 of the weight
+// strictly inside and outside. The engine ranks fundamental edges by how
+// close their face weight sits to n/2 and exact-checks in rank order.
+//
+// Outside full triangulations the lemma gives no guarantee (a wheel's
+// fundamental cycles all strand a long rim arc), so two fallback tiers
+// follow: the long-path rule (a T-path of at least n/3 vertices balances
+// by counting) and virtual-pair closures through large faces — the same
+// ℰ-compatible closure the paper's Phase 5 uses. A typed ErrNoSeparator
+// reports instances where no probed candidate balances.
+type liptonTarjanEngine struct{}
+
+func (liptonTarjanEngine) Name() string { return "lipton-tarjan" }
+
+func (liptonTarjanEngine) FindCycleSeparator(cfg *weights.Config, opts Options) (*Result, error) {
+	n := cfg.G.N()
+	ops := ltOps(n)
+	charge(cfg, opts, "lipton-tarjan", ops)
+
+	fund := cfg.FundamentalEdges()
+	if len(fund) == 0 {
+		sep, err := searchCandidates(cfg, treeCandidate(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return finish(cfg, "lipton-tarjan", sep, ops)
+	}
+	w := fundWeights(cfg, fund)
+	cands := make([]candidate, 0, len(fund))
+	for _, e := range fund {
+		// |F̄_e| near n/2 is the fundamental cycle the LT argument finds;
+		// the distance to n/2 ranks the probe order.
+		cands = append(cands, fundamentalCandidate(cfg, e, absDiff(2*w[e], n), separator.PhaseDirect))
+	}
+	// Tier 2: the long-path rule (Lemma 1, condition 3) — T-paths with at
+	// least n/3 vertices balance regardless of weights. Score them after
+	// the near-n/2 band but before the virtual tier.
+	for _, e := range fund {
+		e := e
+		cands = append(cands, candidate{
+			score: 2 * n,
+			phase: separator.PhaseLongPath,
+			path: func() []int {
+				u, v := cfg.Canonical(e)
+				p := cfg.Tree.TPath(u, v)
+				if 3*len(p) < n {
+					return nil
+				}
+				return p
+			},
+		})
+	}
+	// Tier 3: virtual closures through faces of length >= 4.
+	cands = append(cands, virtualPairCandidates(cfg, 3*n)...)
+	sep, err := searchCandidates(cfg, cands)
+	if err != nil {
+		return nil, err
+	}
+	return finish(cfg, "lipton-tarjan", sep, ops)
+}
+
+// ltOps is the charged profile: weights precomputation (the ranking reads
+// |F̄_e| for every fundamental edge), one range-query sweep over the
+// probe order, and the final path marking.
+func ltOps(n int) dist.Ops {
+	return dist.WeightsOps(n).
+		Plus(dist.PAProblemOps().Times(2)).
+		Plus(dist.MarkPathOps(n))
+}
+
+func init() { Register(liptonTarjanEngine{}) }

@@ -1,0 +1,83 @@
+package sepengine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"planardfs/internal/dist"
+	"planardfs/internal/randsep"
+	"planardfs/internal/separator"
+	"planardfs/internal/weights"
+)
+
+// randomizedEngine folds the sampling-estimation baseline of
+// internal/randsep (Ghaffari–Parter style) behind the registry: face
+// extents are estimated from a uniform vertex sample instead of the
+// deterministic formula, so the engine can fail (no estimate in the
+// safety band) or propose an unbalanced face — both surface as a typed
+// ErrNoSeparator, never as an unvalidated separator.
+//
+// Seed threading follows the repo's determinism policy: the RNG is
+// derived from Options.Seed via rand.NewSource, never from the
+// process-global generator, so a run is reproducible from its arguments.
+type randomizedEngine struct{}
+
+func (randomizedEngine) Name() string { return "randomized" }
+
+// Defaults for the sampling knobs when Options leaves them zero.
+const (
+	defaultSampleRate = 0.25
+	defaultMargin     = 0.03
+)
+
+func (randomizedEngine) FindCycleSeparator(cfg *weights.Config, opts Options) (*Result, error) {
+	rate := opts.SampleRate
+	if rate == 0 {
+		rate = defaultSampleRate
+	}
+	margin := opts.Margin
+	if margin == 0 {
+		margin = defaultMargin
+	}
+	n := cfg.G.N()
+	ops := randOps(n)
+	charge(cfg, opts, "randomized", ops)
+
+	//planarvet:rng caller-seeded baseline: the seed is threaded from Options.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res, err := randsep.Find(cfg, rate, margin, rng)
+	if err != nil {
+		if errors.Is(err, randsep.ErrNoCandidate) {
+			return nil, &NoSeparatorError{
+				Engine:  "randomized",
+				Samples: res.Samples,
+				Reason:  fmt.Sprintf("no face estimate within the safety band (samples=%d)", res.Samples),
+			}
+		}
+		return nil, err
+	}
+	// The estimate may have passed the band on an unbalanced face; check
+	// before finish so the failure stays a typed soft error.
+	if 3*separator.VerifyBalance(cfg.G, res.Sep.Path) > 2*n {
+		return nil, &NoSeparatorError{
+			Engine:  "randomized",
+			Samples: res.Samples,
+			Reason:  fmt.Sprintf("sampled face is unbalanced (samples=%d, estErr=%d)", res.Samples, res.EstimateErr),
+		}
+	}
+	out, err := finish(cfg, "randomized", res.Sep, ops)
+	if err != nil {
+		return nil, err
+	}
+	out.Samples = res.Samples
+	return out, nil
+}
+
+// randOps is the charged profile: the sampling broadcast plus one
+// estimate aggregation per range query and the final path marking.
+func randOps(n int) dist.Ops {
+	return dist.PAProblemOps().Times(3).Plus(dist.MarkPathOps(n))
+}
+
+func init() { Register(randomizedEngine{}) }

@@ -9,6 +9,7 @@ import (
 
 	"planardfs/internal/chaos"
 	"planardfs/internal/gen"
+	"planardfs/internal/sepengine"
 	"planardfs/internal/trace"
 )
 
@@ -47,6 +48,11 @@ type JobRequest struct {
 	ChaosSeed int64 `json:"chaosSeed,omitempty"`
 	// MaxAttempts bounds the supervised retries (0 = runtime default).
 	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// Engine selects the separator backend for the whole-instance cycle
+	// separator (internal/sepengine registry); empty runs the default
+	// Theorem 1 engine. Non-default engines key the decomposition cache as
+	// hash:engine, so per-engine results never alias the default's.
+	Engine string `json:"engine,omitempty"`
 }
 
 // validate rejects malformed requests before they consume a queue slot.
@@ -78,6 +84,9 @@ func (r *JobRequest) validate(maxN int) error {
 		if _, err := chaos.ParseSpec(r.ChaosSpec); err != nil {
 			return err
 		}
+	}
+	if _, err := sepengine.Get(r.Engine); err != nil {
+		return err
 	}
 	return nil
 }
@@ -236,7 +245,13 @@ func (s *Server) runJob(j *job) {
 		s.metrics.Count("serve.jobs.failed", 1)
 		return
 	}
+	// Non-default engines get their own cache entries: the content address
+	// keys the default engine's decomposition, hash:engine the others, so
+	// existing query URLs keep resolving the default transparently.
 	hash := gen.ContentHash(in)
+	if j.req.Engine != "" && j.req.Engine != sepengine.DefaultEngine {
+		hash += ":" + j.req.Engine
+	}
 	j.mu.Lock()
 	j.hash = hash
 	j.mu.Unlock()
@@ -258,10 +273,12 @@ func (s *Server) runJob(j *job) {
 			plan:        plan,
 			maxAttempts: j.req.MaxAttempts,
 			tracer:      j.rec,
+			engine:      j.req.Engine,
 		})
 		if err != nil {
 			return nil, err
 		}
+		d.Hash = hash // the store key, engine suffix included
 		d.BuildNanos = nowNanos() - buildStart
 		return d, nil
 	})

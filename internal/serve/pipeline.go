@@ -10,6 +10,7 @@ import (
 	"planardfs/internal/dist"
 	"planardfs/internal/gen"
 	"planardfs/internal/separator"
+	"planardfs/internal/sepengine"
 	"planardfs/internal/shortcut"
 	"planardfs/internal/spanning"
 	"planardfs/internal/trace"
@@ -37,6 +38,9 @@ type Decomp struct {
 	DFS *spanning.Tree
 	// Root is the common root of both trees (on the outer face).
 	Root int
+	// Engine is the separator backend that produced Sep (sepengine
+	// registry name).
+	Engine string
 	// Sep is the cycle separator of the whole instance.
 	Sep *separator.Separator
 	// SepSide is the greedy 2-coloring of G minus the separator:
@@ -77,6 +81,8 @@ type pipelineRequest struct {
 	maxAttempts int
 	// tracer receives the job's spans and metrics; nil disables.
 	tracer trace.Tracer
+	// engine selects the separator backend; empty runs the default.
+	engine string
 }
 
 // buildDecomp runs the full decomposition pipeline over in: BFS spanning
@@ -143,19 +149,18 @@ func buildDecomp(ctx context.Context, in *gen.Instance, pr pipelineRequest) (*De
 		return nil, err
 	}
 
-	// Cycle separator of the whole instance plus the greedy 2-coloring.
+	// Cycle separator of the whole instance plus the greedy 2-coloring,
+	// produced by the requested engine (validated plus side-checked inside
+	// the registry).
 	cfg, err := weightsConfig(in, bfs)
 	if err != nil {
 		return nil, err
 	}
-	sep, err := separator.Find(cfg)
+	res, err := sepengine.Find(pr.engine, cfg, sepengine.Options{Tracer: pr.tracer})
 	if err != nil {
 		return nil, fmt.Errorf("serve: separator: %w", err)
 	}
-	side, err := cert.SeparatorSides(g, sep.Path)
-	if err != nil {
-		return nil, fmt.Errorf("serve: separator sides: %w", err)
-	}
+	sep, side := res.Sep, res.Side
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -181,6 +186,7 @@ func buildDecomp(ctx context.Context, in *gen.Instance, pr pipelineRequest) (*De
 		DFSParent: parent,
 		DFS:       dfsTree,
 		Root:      root,
+		Engine:    res.Engine,
 		Sep:       sep,
 		SepSide:   side,
 		Verdicts: []VerdictSummary{

@@ -19,6 +19,8 @@ type GraphSummary struct {
 	Root     int    `json:"root"`
 	SepLen   int    `json:"sepLen"`
 	SepPhase string `json:"sepPhase"`
+	// Engine is the separator backend that produced the cycle separator.
+	Engine string `json:"engine"`
 	// Outcome/Attempts/Rounds describe the build that produced the cached
 	// decomposition.
 	Outcome     string           `json:"outcome"`
@@ -55,6 +57,7 @@ func (s *Server) handleGraphSummary(w http.ResponseWriter, r *http.Request) {
 		Root:        d.Root,
 		SepLen:      len(d.Sep.Path),
 		SepPhase:    d.Sep.Phase.String(),
+		Engine:      d.Engine,
 		Outcome:     d.Outcome,
 		Attempts:    d.Attempts,
 		Rounds:      d.Rounds,

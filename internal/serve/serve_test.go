@@ -265,6 +265,7 @@ func TestJobValidation(t *testing.T) {
 		`{"family":"grid","n":2}`,
 		`{"family":"grid","n":100000}`,
 		`{"family":"grid","n":64,"chaosSpec":"bogus=1"}`,
+		`{"family":"grid","n":64,"engine":"nosuch-engine"}`,
 		`{"family":"grid","n":64,"unknownField":true}`,
 		`not json`,
 	} {
@@ -279,6 +280,42 @@ func TestJobValidation(t *testing.T) {
 	}
 	if code := getJSON(t, ts.URL+"/v1/jobs/j999", nil); code != http.StatusNotFound {
 		t.Fatalf("unknown job status %d", code)
+	}
+}
+
+// TestJobEngineSelection submits the same instance under the default and a
+// non-default separator engine: the two jobs must not share a cache entry
+// (the non-default key carries the engine suffix), and the graph summary
+// must report the backend that produced the cached separator.
+func TestJobEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxN: 1000})
+	def := awaitJob(t, ts.URL, postJob(t, ts.URL, `{"family":"stacked","n":80,"seed":3}`).ID)
+	if def.State != StateDone {
+		t.Fatalf("default job: %+v", def)
+	}
+	alt := awaitJob(t, ts.URL, postJob(t, ts.URL, `{"family":"stacked","n":80,"seed":3,"engine":"lipton-tarjan"}`).ID)
+	if alt.State != StateDone {
+		t.Fatalf("engine job: %+v", alt)
+	}
+	if alt.Cached {
+		t.Fatal("engine job aliased the default engine's cache entry")
+	}
+	if alt.Hash != def.Hash+":lipton-tarjan" {
+		t.Fatalf("engine job keyed %q, want %q", alt.Hash, def.Hash+":lipton-tarjan")
+	}
+	var sum GraphSummary
+	if code := getJSON(t, ts.URL+"/v1/graphs/"+alt.Hash, &sum); code != 200 {
+		t.Fatalf("engine summary status %d", code)
+	}
+	if sum.Engine != "lipton-tarjan" {
+		t.Fatalf("summary engine %q, want lipton-tarjan", sum.Engine)
+	}
+	var dsum GraphSummary
+	if code := getJSON(t, ts.URL+"/v1/graphs/"+def.Hash, &dsum); code != 200 {
+		t.Fatalf("default summary status %d", code)
+	}
+	if dsum.Engine != "theorem1" {
+		t.Fatalf("default summary engine %q, want theorem1", dsum.Engine)
 	}
 }
 

@@ -29,8 +29,8 @@ package planardfs
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"math/rand"
 
 	"planardfs/internal/cert"
 	"planardfs/internal/chaos"
@@ -40,8 +40,8 @@ import (
 	"planardfs/internal/gen"
 	"planardfs/internal/graph"
 	"planardfs/internal/planar"
-	"planardfs/internal/randsep"
 	"planardfs/internal/separator"
+	"planardfs/internal/sepengine"
 	"planardfs/internal/serve"
 	"planardfs/internal/shortcut"
 	"planardfs/internal/spanning"
@@ -182,6 +182,40 @@ func FindCycleSeparator(cfg *Config) (*Separator, error) {
 	return separator.Find(cfg)
 }
 
+// Multi-backend separator engines (internal/sepengine): a registry of
+// cycle-separator backends behind one interface — the paper's Theorem 1
+// constructive engine, classical Lipton–Tarjan, the BFS-level engine in
+// the style of Har-Peled–Nayyeri, a dual-tree weight-decomposition engine,
+// and the sampling-estimation baseline. Every engine output is
+// cross-validated by the centralized separator oracle and side oracle of
+// internal/cert before it is returned.
+type (
+	// SeparatorEngineResult is a validated engine output: the separator,
+	// side masks, balance, cycle length and charged round cost.
+	SeparatorEngineResult = sepengine.Result
+	// SeparatorEngineOptions carry per-call engine knobs (tracer, seed,
+	// sampling rate, ablations).
+	SeparatorEngineOptions = sepengine.Options
+)
+
+// ErrNoSeparator marks a legitimate engine failure: the engine ran to
+// completion without finding a balanced cycle separator. The default
+// engine (theorem1) never returns it on valid planar configurations.
+var ErrNoSeparator = sepengine.ErrNoSeparator
+
+// DefaultSeparatorEngine is the registry name of the Theorem 1 engine.
+const DefaultSeparatorEngine = sepengine.DefaultEngine
+
+// SeparatorEngines lists the registered engine names, sorted.
+func SeparatorEngines() []string { return sepengine.Names() }
+
+// FindCycleSeparatorWithEngine computes a validated cycle separator with
+// the named engine (empty name selects the default). Unknown names return
+// a typed error listing the available engines.
+func FindCycleSeparatorWithEngine(cfg *Config, engine string, opts SeparatorEngineOptions) (*SeparatorEngineResult, error) {
+	return sepengine.Find(engine, cfg, opts)
+}
+
 // SeparatorsForPartition computes a cycle separator of every part's induced
 // subgraph (the partition-parallel form of Theorem 1). Parts must induce
 // connected subgraphs.
@@ -235,6 +269,35 @@ func BuildDFSTree(in *Instance, root int) (*DFSTree, *DFSTrace, error) {
 // tracer as round-stamped spans. A nil tracer disables tracing.
 func BuildDFSTreeTraced(in *Instance, root int, tracer Tracer) (*DFSTree, *DFSTrace, error) {
 	return dfs.BuildTraced(in.G, in.Emb, in.OuterDart, root, tracer)
+}
+
+// BuildDFSTreeWithEngine is BuildDFSTreeTraced with the per-component
+// separator computation run by the named engine (empty name selects the
+// default). A soft engine failure (ErrNoSeparator) on a component falls
+// back to the Theorem 1 engine for that component — the build stays total —
+// and the returned trace counts the fallbacks in EngineFallbacks.
+func BuildDFSTreeWithEngine(in *Instance, root int, engine string, tracer Tracer) (*DFSTree, *DFSTrace, error) {
+	eng, err := sepengine.Get(engine)
+	if err != nil {
+		return nil, nil, err
+	}
+	fallbacks := 0
+	find := func(cfg *Config) (*Separator, error) {
+		res, ferr := eng.FindCycleSeparator(cfg, SeparatorEngineOptions{Tracer: tracer})
+		if ferr == nil {
+			return res.Sep, nil
+		}
+		if !errors.Is(ferr, ErrNoSeparator) {
+			return nil, ferr
+		}
+		fallbacks++
+		return separator.Find(cfg)
+	}
+	pt, tr, err := dfs.BuildWithSeparator(in.G, in.Emb, in.OuterDart, root, tracer, find)
+	if tr != nil {
+		tr.EngineFallbacks = fallbacks
+	}
+	return pt, tr, err
 }
 
 // VerifyDFSTree checks the DFS property: parent must describe a spanning
@@ -444,12 +507,22 @@ func CanonicalGraphBytes(in *Instance) []byte { return gen.CanonicalBytes(in) }
 func GraphContentHash(in *Instance) string { return gen.ContentHash(in) }
 
 // RandomizedSeparator runs the sampling-estimation baseline (Ghaffari-
-// Parter style): it may fail with randsep.ErrNoCandidate or return an
-// unbalanced separator; see experiment E10.
-func RandomizedSeparator(cfg *Config, sampleRate, margin float64, rng *rand.Rand) (*Separator, int, error) {
-	res, err := randsep.Find(cfg, sampleRate, margin, rng)
+// Parter style) through the engine registry: it may fail with an error
+// wrapping ErrNoSeparator (no estimate in the safety band, or a sampled
+// face that is unbalanced); see experiment E10. The sample count is
+// returned even on failure. The RNG is derived from seed, never from the
+// process-global generator. A zero sampleRate or margin selects the engine
+// defaults (0.25 and 0.03).
+func RandomizedSeparator(cfg *Config, sampleRate, margin float64, seed int64) (*Separator, int, error) {
+	res, err := sepengine.Find("randomized", cfg, SeparatorEngineOptions{
+		Seed: seed, SampleRate: sampleRate, Margin: margin,
+	})
 	if err != nil {
-		return nil, res.Samples, err
+		var nse *sepengine.NoSeparatorError
+		if errors.As(err, &nse) {
+			return nil, nse.Samples, err
+		}
+		return nil, 0, err
 	}
 	return res.Sep, res.Samples, nil
 }

@@ -1,7 +1,6 @@
 package planardfs
 
 import (
-	"math/rand"
 	"testing"
 )
 
@@ -139,8 +138,7 @@ func TestPublicBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(4))
-	if _, samples, err := RandomizedSeparator(cfg, 1.0, 0, rng); err == nil && samples == 0 {
+	if _, samples, err := RandomizedSeparator(cfg, 1.0, 0, 4); err == nil && samples == 0 {
 		t.Fatal("full sample reported zero samples")
 	}
 	lvl := BFSLevelSeparator(in.G, 0)
