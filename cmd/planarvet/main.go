@@ -17,6 +17,11 @@
 // Analyzer selection and flags follow vet conventions: -mapiter enables
 // only that analyzer, -mapiter.packages=… adjusts its package list; with
 // no selection flags, all analyzers run.
+//
+// With -json the diagnostics are emitted as a SARIF 2.1.0 log on stdout
+// (see sarif.go) and the exit status is 1 when any finding exists — unlike
+// `go vet -json`, which always exits 0. CI uploads the log as an artifact
+// and renders its results as code annotations.
 package main
 
 import (
@@ -41,6 +46,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "planarvet: cannot locate own binary: %v\n", err)
 		os.Exit(1)
 	}
+	if rest, ok := stripFlag(args, "-json"); ok {
+		os.Exit(runJSON(self, rest))
+	}
 	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
@@ -52,6 +60,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "planarvet: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// stripFlag removes the first occurrence of flag from args, reporting
+// whether it was present.
+func stripFlag(args []string, flag string) ([]string, bool) {
+	for i, a := range args {
+		if a == flag {
+			return append(append([]string(nil), args[:i]...), args[i+1:]...), true
+		}
+	}
+	return args, false
 }
 
 // vetProtocol reports whether the argument list is a go-vet unitchecker

@@ -46,7 +46,10 @@ func TestFlagsProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatalf("-flags probe: %v", err)
 	}
-	for _, name := range []string{"mapiter", "rngwallclock", "congestmsg", "spanbalance"} {
+	for _, name := range []string{
+		"mapiter", "rngwallclock", "congestmsg", "spanbalance",
+		"narrow32", "noalloc", "registryinit", "errwrap",
+	} {
 		if !strings.Contains(string(out), `"Name": "`+name+`"`) {
 			t.Errorf("-flags output does not register analyzer %s:\n%s", name, out)
 		}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"planardfs/internal/analyze"
+)
+
+// The -json mode runs the suite through `go vet -json` and renders the
+// diagnostics as a SARIF 2.1.0 log on stdout, one run, one rule per
+// analyzer. CI uploads the log as an artifact and turns its results into
+// code annotations.
+//
+// `go vet -json` differs from plain vet in two ways this mode must undo:
+// the JSON stream goes to stderr interleaved with `# pkgpath` comment
+// lines, and the exit status is 0 even when there are findings. The
+// SARIF mode therefore counts results itself and exits 1 when any exist,
+// so the CI gate stays a gate.
+
+// sarifLog is the subset of SARIF 2.1.0 the gate emits.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// vetDiag is one diagnostic in the `go vet -json` stream:
+// {"pkgpath": {"analyzer": [{"posn": "file:line:col", "message": "..."}]}}.
+type vetDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// runJSON executes `go vet -json` with this binary as the vet tool, turns
+// the diagnostic stream into SARIF on stdout, and returns the process exit
+// code: 0 clean, 1 with findings, the vet exit code on hard failure.
+func runJSON(self string, args []string) int {
+	cmd := exec.Command("go", append([]string{"vet", "-json", "-vettool=" + self}, args...)...)
+	var stderr bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+	if runErr != nil {
+		// go vet -json exits 0 on findings, so a failure is a hard error
+		// (build breakage, bad flags): the raw output is the best report.
+		os.Stderr.Write(stderr.Bytes())
+		if ee, ok := runErr.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "planarvet: %v\n", runErr)
+		return 1
+	}
+
+	log, err := buildSARIF(stderr.Bytes())
+	if err != nil {
+		os.Stderr.Write(stderr.Bytes())
+		fmt.Fprintf(os.Stderr, "planarvet: parsing go vet -json output: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		fmt.Fprintf(os.Stderr, "planarvet: writing SARIF: %v\n", err)
+		return 1
+	}
+	if len(log.Runs[0].Results) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// buildSARIF parses the stderr stream of `go vet -json` — JSON objects, one
+// per package, interleaved with `# pkgpath` comment lines — into a SARIF
+// log with deterministically ordered results.
+func buildSARIF(raw []byte) (*sarifLog, error) {
+	var filtered bytes.Buffer
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		filtered.Write(line)
+		filtered.WriteByte('\n')
+	}
+
+	cwd, _ := os.Getwd()
+	var results []sarifResult
+	dec := json.NewDecoder(&filtered)
+	for {
+		var pkgs map[string]map[string][]vetDiag
+		if err := dec.Decode(&pkgs); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		for _, byAnalyzer := range pkgs {
+			for name, diags := range byAnalyzer {
+				for _, d := range diags {
+					results = append(results, toResult(name, d, cwd))
+				}
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		if u1, u2 := a.Locations[0].Physical.Artifact.URI, b.Locations[0].Physical.Artifact.URI; u1 != u2 {
+			return u1 < u2
+		}
+		if l1, l2 := a.Locations[0].Physical.Region.StartLine, b.Locations[0].Physical.Region.StartLine; l1 != l2 {
+			return l1 < l2
+		}
+		if c1, c2 := a.Locations[0].Physical.Region.StartColumn, b.Locations[0].Physical.Region.StartColumn; c1 != c2 {
+			return c1 < c2
+		}
+		if a.RuleID != b.RuleID {
+			return a.RuleID < b.RuleID
+		}
+		return a.Message.Text < b.Message.Text
+	})
+	if results == nil {
+		results = []sarifResult{}
+	}
+
+	rules := make([]sarifRule, 0, len(analyze.All()))
+	for _, a := range analyze.All() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: doc}})
+	}
+
+	return &sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "planarvet", Rules: rules}},
+			Results: results,
+		}},
+	}, nil
+}
+
+// toResult converts one vet diagnostic. Bare-directive diagnostics are
+// tree-wide hygiene warnings; every substrate-contract violation is an
+// error. Paths are made repo-relative (and slash-separated) so the SARIF
+// artifact URIs resolve inside the checkout regardless of the runner's
+// absolute workspace path.
+func toResult(analyzer string, d vetDiag, cwd string) sarifResult {
+	file, line, col := splitPosn(d.Posn)
+	if cwd != "" && filepath.IsAbs(file) {
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	level := "error"
+	if strings.HasPrefix(d.Message, "bare //planarvet:") {
+		level = "warning"
+	}
+	return sarifResult{
+		RuleID:  analyzer,
+		Level:   level,
+		Message: sarifText{Text: d.Message},
+		Locations: []sarifLocation{{Physical: sarifPhysical{
+			Artifact: sarifArtifact{URI: filepath.ToSlash(file)},
+			Region:   sarifRegion{StartLine: line, StartColumn: col},
+		}}},
+	}
+}
+
+// splitPosn splits "path:line:col" from the right, so Windows drive colons
+// and other path colons stay in the path.
+func splitPosn(posn string) (file string, line, col int) {
+	rest := posn
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		col, _ = strconv.Atoi(rest[i+1:])
+		rest = rest[:i]
+	}
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		line, _ = strconv.Atoi(rest[i+1:])
+		rest = rest[:i]
+	}
+	return rest, line, col
+}

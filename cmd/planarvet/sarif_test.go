@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	sarifBuildOnce sync.Once
+	sarifBin       string
+	sarifBuildErr  error
+)
+
+// sarifBinary builds the planarvet command once for all SARIF-mode tests.
+func sarifBinary(t *testing.T) string {
+	t.Helper()
+	sarifBuildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "planarvet-json-test")
+		if err != nil {
+			sarifBuildErr = err
+			return
+		}
+		sarifBin = filepath.Join(dir, "planarvet")
+		cmd := exec.Command("go", "build", "-o", sarifBin, "planardfs/cmd/planarvet")
+		cmd.Dir = moduleRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			sarifBuildErr = fmt.Errorf("building planarvet: %w\n%s", err, out)
+		}
+	})
+	if sarifBuildErr != nil {
+		t.Fatal(sarifBuildErr)
+	}
+	return sarifBin
+}
+
+// writeModule materialises a throwaway single-package module.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module sarifprobe\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// runSARIF invokes `planarvet -json ./...` in dir and decodes the log.
+func runSARIF(t *testing.T, dir string) (*sarifLog, int) {
+	t.Helper()
+	cmd := exec.Command(sarifBinary(t), "-json", "./...")
+	cmd.Dir = dir
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running planarvet -json: %v\nstderr:\n%s", err, stderr.String())
+		}
+		code = ee.ExitCode()
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("stdout is not a SARIF log: %v\noutput:\n%s\nstderr:\n%s", err, out, stderr.String())
+	}
+	return &log, code
+}
+
+// TestJSONFindings checks the gate behaviour of the SARIF mode: a module
+// with an identity comparison of non-nil errors must produce a SARIF log
+// on stdout with an errwrap error result AND a non-zero exit status (the
+// property plain `go vet -json` does not have).
+func TestJSONFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	dir := writeModule(t, `package p
+
+import "errors"
+
+var sentinel = errors.New("boom")
+
+func Classify(err error) bool {
+	return err == sentinel
+}
+`)
+	log, code := runSARIF(t, dir)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (findings must gate)", code)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("malformed log: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "planarvet" {
+		t.Errorf("driver name = %q, want planarvet", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 8 {
+		t.Errorf("rule table has %d entries, want 8 (one per analyzer)", len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("got %d results, want 1: %+v", len(run.Results), run.Results)
+	}
+	res := run.Results[0]
+	if res.RuleID != "errwrap" {
+		t.Errorf("ruleId = %q, want errwrap", res.RuleID)
+	}
+	if res.Level != "error" {
+		t.Errorf("level = %q, want error", res.Level)
+	}
+	if !strings.Contains(res.Message.Text, "errors.Is") {
+		t.Errorf("message %q does not suggest errors.Is", res.Message.Text)
+	}
+	loc := res.Locations[0].Physical
+	if !strings.HasSuffix(loc.Artifact.URI, "p.go") || strings.Contains(loc.Artifact.URI, "\\") {
+		t.Errorf("uri = %q, want a slash-separated path ending in p.go", loc.Artifact.URI)
+	}
+	if loc.Region.StartLine != 8 {
+		t.Errorf("startLine = %d, want 8", loc.Region.StartLine)
+	}
+}
+
+// TestJSONBareDirectiveIsWarning checks the level mapping: a reasonless
+// escape directive is reported at warning level, and still gates.
+func TestJSONBareDirectiveIsWarning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	dir := writeModule(t, `package p
+
+import "errors"
+
+var sentinel = errors.New("boom")
+
+func Classify(err error) bool {
+	//planarvet:errok
+	return err == sentinel
+}
+`)
+	log, code := runSARIF(t, dir)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (bare directives gate too)", code)
+	}
+	if len(log.Runs[0].Results) != 1 {
+		t.Fatalf("got %d results, want 1: %+v", len(log.Runs[0].Results), log.Runs[0].Results)
+	}
+	res := log.Runs[0].Results[0]
+	if res.Level != "warning" {
+		t.Errorf("level = %q, want warning for a bare directive", res.Level)
+	}
+	if !strings.Contains(res.Message.Text, "bare //planarvet:errok") {
+		t.Errorf("unexpected message %q", res.Message.Text)
+	}
+}
+
+// TestJSONClean checks the clean path: a well-formed SARIF log with a
+// present (not null) empty results array and exit status 0.
+func TestJSONClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	dir := writeModule(t, `package p
+
+import "errors"
+
+var sentinel = errors.New("boom")
+
+func Classify(err error) bool {
+	return errors.Is(err, sentinel)
+}
+`)
+	log, code := runSARIF(t, dir)
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 on a clean module", code)
+	}
+	if log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Errorf("results = %+v, want a present empty array", log.Runs[0].Results)
+	}
+}

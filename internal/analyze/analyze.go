@@ -15,11 +15,27 @@
 //   - trace spans that are opened but never closed, corrupting the span
 //     tree every exporter consumes (spanbalance).
 //
+// A second group machine-checks the flat-substrate contracts of the int32
+// SoA/CSR layout and the engine registry:
+//
+//   - unchecked int→int32 narrowing in the substrate packages, where a
+//     value past 2³¹ wraps silently into a valid-looking id (narrow32),
+//   - allocation sites in functions declared allocation-free, each
+//     annotation naming the AllocsPerRun test that enforces it at runtime
+//     (noalloc),
+//   - engine registration outside init, non-constant registry names,
+//     duplicate names, and results that bypass cert validation
+//     (registryinit),
+//   - error identity comparisons and fmt.Errorf wrapping without %w,
+//     which cut the errors.Is/As chain (errwrap).
+//
 // Every analyzer has a justification-comment escape hatch of the form
 // //planarvet:<tag> <reason>, placed on the flagged line, the line above
-// it, or (for declarations) in the doc comment. The reason is mandatory by
-// convention: an annotation is a reviewed claim that the invariant holds
-// for a non-obvious reason, not a mute button.
+// it, or (for declarations) in the doc comment. The reason is mandatory
+// and machine-enforced: a directive with no reason is reported as a
+// warning tree-wide by the analyzer owning its tag. An annotation is a
+// reviewed claim that the invariant holds for a non-obvious reason, not a
+// mute button.
 //
 // The suite is run by cmd/planarvet, which drives the analyzers through
 // go vet's unitchecker protocol so the go command handles package loading,
@@ -30,7 +46,11 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	"planardfs/internal/analyze/congestmsg"
+	"planardfs/internal/analyze/errwrap"
 	"planardfs/internal/analyze/mapiter"
+	"planardfs/internal/analyze/narrow32"
+	"planardfs/internal/analyze/noalloc"
+	"planardfs/internal/analyze/registryinit"
 	"planardfs/internal/analyze/rngwallclock"
 	"planardfs/internal/analyze/spanbalance"
 )
@@ -42,5 +62,9 @@ func All() []*analysis.Analyzer {
 		rngwallclock.Analyzer,
 		congestmsg.Analyzer,
 		spanbalance.Analyzer,
+		narrow32.Analyzer,
+		noalloc.Analyzer,
+		registryinit.Analyzer,
+		errwrap.Analyzer,
 	}
 }

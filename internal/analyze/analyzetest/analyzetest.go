@@ -56,7 +56,7 @@ func binary(t *testing.T) string {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, "planarvet"), "planardfs/cmd/planarvet")
 		cmd.Dir = root
 		if out, err := cmd.CombinedOutput(); err != nil {
-			buildErr = fmt.Errorf("building planarvet: %v\n%s", err, out)
+			buildErr = fmt.Errorf("building planarvet: %w\n%s", err, out)
 		}
 	})
 	if buildErr != nil {
@@ -68,7 +68,7 @@ func binary(t *testing.T) string {
 func moduleRoot() (string, error) {
 	out, err := exec.Command("go", "env", "GOMOD").Output()
 	if err != nil {
-		return "", fmt.Errorf("go env GOMOD: %v", err)
+		return "", fmt.Errorf("go env GOMOD: %w", err)
 	}
 	gomod := strings.TrimSpace(string(out))
 	if gomod == "" || gomod == os.DevNull {
@@ -217,7 +217,7 @@ func parseWants(t *testing.T, root string) map[wantKey][]*regexp.Regexp {
 			for _, pat := range splitPatterns(m[1]) {
 				re, err := regexp.Compile(pat)
 				if err != nil {
-					return fmt.Errorf("%s:%d: bad want pattern %q: %v", rel, i+1, pat, err)
+					return fmt.Errorf("%s:%d: bad want pattern %q: %w", rel, i+1, pat, err)
 				}
 				wants[key] = append(wants[key], re)
 			}

@@ -62,6 +62,7 @@ var payloadIface = func() *types.Interface {
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	dirs := vetutil.NewDirectives(pass)
+	dirs.ReportBare(pass, "congestpayload")
 	ins.WithStack([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
 		if !push {
 			return false

@@ -1,0 +1,11 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"planardfs/internal/analyze/analyzetest"
+)
+
+func TestErrwrap(t *testing.T) {
+	analyzetest.Run(t, "errwrap", "testdata")
+}

@@ -1,0 +1,75 @@
+// Package errs is the errwrap fixture: sentinel comparisons, error
+// switches and chain-cutting wraps.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNoSeparator = errors.New("no separator")
+
+// Sentinel compares by identity: wrapped forms never match.
+func Sentinel(err error) bool {
+	return err == ErrNoSeparator // want "comparison of non-nil errors with =="
+}
+
+// SentinelNeq is the negated form.
+func SentinelNeq(err error) bool {
+	return err != ErrNoSeparator // want "comparison of non-nil errors with !="
+}
+
+// NilChecks stay idiomatic and are never flagged.
+func NilChecks(err error) bool {
+	return err == nil || nil != err
+}
+
+// Good matches through the unwrap chain.
+func Good(err error) bool { return errors.Is(err, ErrNoSeparator) }
+
+// Switched hides the identity comparison in a switch.
+func Switched(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrNoSeparator: // want "switch case compares error ErrNoSeparator by identity"
+		return 1
+	}
+	return 2
+}
+
+// TypeSwitched is a type switch, which is errors.As territory but not an
+// identity comparison; not flagged.
+func TypeSwitched(err error) bool {
+	switch err.(type) {
+	case nil:
+		return false
+	default:
+		return true
+	}
+}
+
+// WrapV stringifies the chain.
+func WrapV(err error) error {
+	return fmt.Errorf("running engine: %v", err) // want `fmt\.Errorf formats error err without %w`
+}
+
+// WrapW preserves it.
+func WrapW(err error) error {
+	return fmt.Errorf("running engine: %w", err)
+}
+
+// WrapString formats a plain value, not an error.
+func WrapString(name string) error {
+	return fmt.Errorf("unknown engine %q", name)
+}
+
+// Intended identity, with the reviewed reason.
+func Intended(err, marker error) bool {
+	return err == marker //planarvet:errok marker is a never-wrapped iteration terminator compared by identity on purpose
+}
+
+// Bare escape: comparison muted, directive warned.
+func Bare(err, marker error) bool {
+	return err == marker //planarvet:errok // want "bare //planarvet:errok directive"
+}

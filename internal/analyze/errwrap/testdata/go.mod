@@ -1,0 +1,3 @@
+module errwraptest
+
+go 1.22

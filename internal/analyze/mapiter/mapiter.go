@@ -44,11 +44,12 @@ func init() {
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := vetutil.NewDirectives(pass)
+	dirs.ReportBare(pass, "orderinvariant")
 	if !vetutil.PathMatches(pass.Pkg.Path(), packages) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
-	dirs := vetutil.NewDirectives(pass)
 	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
 		rs := n.(*ast.RangeStmt)
 		if vetutil.InTestFile(pass, rs.Pos()) {

@@ -1,0 +1,176 @@
+// Package narrow32 defines the planarvet analyzer that polices the int32
+// substrate boundary.
+//
+// The flat SoA/CSR substrate (DESIGN.md §13) stores vertices, edge
+// identifiers, darts and CSR offsets as int32, while the public APIs and
+// the arithmetic around them use int. Every crossing is a narrowing
+// conversion, and an unchecked one does not fail loudly past 2³¹ — it
+// wraps, silently corrupting the graph (a dart index becomes negative, a
+// CSR offset points into another vertex's slice). The entry points bound
+// what can enter the substrate (graph.New rejects n > MaxInt32,
+// graph.AddEdge rejects edge counts that overflow the dart space), so the
+// conversions downstream are correct — but only while every one of them is
+// dominated by such a bound. The analyzer makes that discipline
+// machine-checked: in the substrate packages, every conversion to int32
+// from a wider integer type must be
+//
+//   - a constant that provably fits,
+//   - preceded in the same function by a comparison that mentions the
+//     operand expression (an if/for bound check — `if u < 0 || u >= g.n`,
+//     `for v := 0; v < n; v++` — dominating the conversion), or
+//   - annotated //planarvet:narrowok <reason>, the reason naming the
+//     invariant that bounds the operand (e.g. "id < MaxInt32/2 checked at
+//     AddEdge, so both darts fit").
+//
+// The guard heuristic is syntactic on purpose: it recognizes the explicit,
+// reviewable check next to the conversion, not a whole-program range
+// analysis. A conversion whose bound lives elsewhere (an arena presized by
+// a constructor, a caller contract) is exactly the non-obvious case the
+// annotation exists to document.
+package narrow32
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"planardfs/internal/analyze/vetutil"
+)
+
+// DefaultPackages is the comma-separated list of import-path suffixes
+// forming the int32 substrate; override with -narrow32.packages.
+const DefaultPackages = "internal/graph,internal/planar,internal/spanning,internal/gen,internal/dfs,internal/sepengine"
+
+var packages string
+
+// Analyzer flags unchecked narrowing conversions to int32 in the substrate
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name:     "narrow32",
+	Doc:      "flag unchecked int→int32 narrowing in the flat-substrate packages; add a bound check, or annotate //planarvet:narrowok <reason>",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages", DefaultPackages,
+		"comma-separated import-path suffixes of packages under the int32 substrate contract")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := vetutil.NewDirectives(pass)
+	dirs.ReportBare(pass, "narrowok")
+	if !vetutil.PathMatches(pass.Pkg.Path(), packages) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || vetutil.InTestFile(pass, fd.Pos()) {
+			return
+		}
+		checkFunc(pass, dirs, fd)
+	})
+	return nil, nil
+}
+
+// guard is one comparison appearing in an if/for condition: any conversion
+// after end whose operand prints as one of the compared sides counts as
+// bound-checked. Conditions lexically precede their bodies, so "enclosing
+// loop bound" and "earlier early-return guard" collapse into the same
+// position test.
+type guard struct {
+	end   token.Pos
+	sides []string
+}
+
+func checkFunc(pass *analysis.Pass, dirs *vetutil.Directives, fd *ast.FuncDecl) {
+	var guards []guard
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var cond ast.Expr
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			cond = s.Cond
+		case *ast.ForStmt:
+			cond = s.Cond
+		}
+		if cond == nil {
+			return true
+		}
+		g := guard{end: cond.End()}
+		ast.Inspect(cond, func(c ast.Node) bool {
+			be, ok := c.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL:
+				g.sides = append(g.sides, types.ExprString(be.X), types.ExprString(be.Y))
+			}
+			return true
+		})
+		if len(g.sides) > 0 {
+			guards = append(guards, g)
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		dst, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || dst.Kind() != types.Int32 {
+			return true
+		}
+		arg := call.Args[0]
+		src := pass.TypesInfo.TypeOf(arg)
+		if src == nil {
+			return true
+		}
+		sb, ok := src.Underlying().(*types.Basic)
+		if !ok {
+			return true
+		}
+		switch sb.Kind() {
+		case types.Int, types.Int64, types.Uint, types.Uint32, types.Uint64, types.Uintptr:
+		default:
+			return true // source already fits in int32
+		}
+		if av := pass.TypesInfo.Types[arg]; av.Value != nil {
+			if v, exact := constant.Int64Val(constant.ToInt(av.Value)); exact &&
+				v >= math.MinInt32 && v <= math.MaxInt32 {
+				return true // constant that provably fits
+			}
+		}
+		want := types.ExprString(arg)
+		for _, g := range guards {
+			if g.end > call.Pos() {
+				continue
+			}
+			for _, s := range g.sides {
+				if s == want {
+					return true // bound check mentioning the operand dominates
+				}
+			}
+		}
+		if dirs.SuppressedAt(call.Pos(), "narrowok") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"unchecked narrowing int32(%s) from %s: values past 2³¹ wrap silently; add a bound check mentioning %s, or annotate //planarvet:narrowok <reason>",
+			want, src, want)
+		return true
+	})
+}

@@ -1,0 +1,17 @@
+package narrow32_test
+
+import (
+	"testing"
+
+	"planardfs/internal/analyze/analyzetest"
+)
+
+func TestNarrow32(t *testing.T) {
+	analyzetest.Run(t, "narrow32", "testdata")
+}
+
+// TestPackageListOverride widens the substrate list to cover the fixture's
+// clean package, which must then be flagged too.
+func TestPackageListOverride(t *testing.T) {
+	analyzetest.RunExpectFindings(t, "narrow32", "testdata", "-narrow32.packages=clean")
+}

@@ -1,0 +1,3 @@
+module narrow32test
+
+go 1.22

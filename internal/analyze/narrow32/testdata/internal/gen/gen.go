@@ -1,0 +1,80 @@
+// Package gen is a fixture whose import path suffix places it in the
+// int32 substrate package list.
+package gen
+
+// Unchecked is the deliberate unchecked narrowing: no guard, no
+// annotation.
+func Unchecked(i int) int32 {
+	return int32(i) // want "unchecked narrowing int32\\(i\\)"
+}
+
+// Unchecked64 narrows an int64 without a guard.
+func Unchecked64(j int64) int32 {
+	return int32(j) // want "unchecked narrowing int32\\(j\\)"
+}
+
+// LoopBound converts the loop variable of a bounded loop: the for
+// condition mentions i, which counts as the bound check.
+func LoopBound(n int) int32 {
+	var s int32
+	for i := 0; i < n; i++ {
+		s += int32(i)
+	}
+	return s
+}
+
+// EarlyReturnGuard checks the operand before converting.
+func EarlyReturnGuard(i int) int32 {
+	if i >= 1<<31 {
+		return -1
+	}
+	return int32(i)
+}
+
+// IfGuard converts inside the guarded branch.
+func IfGuard(i int) int32 {
+	if i < 1<<31 {
+		return int32(i)
+	}
+	return -1
+}
+
+// GuardAfter has the comparison after the conversion, which does not
+// dominate it.
+func GuardAfter(i int) int32 {
+	v := int32(i) // want "unchecked narrowing int32\\(i\\)"
+	if i >= 1<<31 {
+		return -1
+	}
+	return v
+}
+
+// WrongOperandGuard bounds i but converts 2*i: the compound operand is
+// the annotation's job.
+func WrongOperandGuard(i int) int32 {
+	if i >= 1<<30 {
+		return -1
+	}
+	return int32(2 * i) // want "unchecked narrowing int32\\(2 \\* i\\)"
+}
+
+// Annotated carries a reasoned escape.
+func Annotated(i int) int32 {
+	return int32(i) //planarvet:narrowok caller contract bounds i by the dart count
+}
+
+// Bare carries a bare escape: the narrowing report is suppressed, but the
+// directive itself is warned about.
+func Bare(i int) int32 {
+	return int32(i) //planarvet:narrowok // want "bare //planarvet:narrowok directive"
+}
+
+// ConstantFits converts a constant that provably fits.
+func ConstantFits() int32 {
+	return int32(7 * 1000)
+}
+
+// AlreadyNarrow widens-then-copies types that already fit.
+func AlreadyNarrow(x int32, y int16, z uint8) int32 {
+	return int32(x) + int32(y) + int32(z)
+}

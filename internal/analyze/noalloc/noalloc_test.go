@@ -1,0 +1,11 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"planardfs/internal/analyze/analyzetest"
+)
+
+func TestNoalloc(t *testing.T) {
+	analyzetest.Run(t, "noalloc", "testdata")
+}

@@ -1,0 +1,3 @@
+module noalloctest
+
+go 1.22

@@ -1,0 +1,67 @@
+// Package hot is the noalloc fixture: annotated hot paths, hidden
+// allocation sites, gate cross-references.
+package hot
+
+import "fmt"
+
+type scratch struct {
+	buf  []int32
+	head int
+}
+
+// Step is the clean hot path: it writes through presized scratch only.
+//
+//planarvet:noalloc TestStepZeroAlloc
+func (s *scratch) Step(v int32) {
+	s.buf[s.head] = v
+	s.head++
+}
+
+// Leaky hides one allocation site of every class the analyzer knows.
+//
+//planarvet:noalloc TestStepZeroAlloc
+func (s *scratch) Leaky(n int, msg string) string {
+	tmp := make([]int32, n) // want "call to make in noalloc function Leaky"
+	tmp = append(tmp, 1)    // want "call to append in noalloc function Leaky"
+	_ = tmp
+	p := &scratch{} // want "escaping composite literal &scratch"
+	_ = p
+	m := map[int]int{} // want "map literal in noalloc function Leaky"
+	_ = m
+	lit := []int{1} // want "slice literal in noalloc function Leaky"
+	_ = lit
+	f := func() {} // want "function literal"
+	f()
+	b := []byte(msg) // want "string conversion"
+	_ = b
+	fmt.Println(n)   // want `call to fmt\.Println`
+	return msg + "!" // want "string concatenation"
+}
+
+// Amortized appends into recycled backing storage: the one legitimate
+// append shape, escaped per-site with a reason.
+//
+//planarvet:noalloc TestStepZeroAlloc
+func (s *scratch) Amortized(v int32) {
+	s.buf = append(s.buf, v) //planarvet:allocok backing storage recycled across epochs, amortized to zero steady-state allocs
+}
+
+// MissingGate names a test that does not exist in the package.
+//
+//planarvet:noalloc TestNoSuchGate
+func MissingGate() { // want "noalloc gate TestNoSuchGate for MissingGate not found"
+}
+
+// WeakGate names a test that exists but never measures allocations.
+//
+//planarvet:noalloc TestWeakGate
+func WeakGate() { // want "noalloc gate TestWeakGate for WeakGate never calls testing.AllocsPerRun"
+}
+
+//planarvet:noalloc // want "bare //planarvet:noalloc directive"
+func Bare() {
+	_ = make([]int, 1) // want "call to make in noalloc function Bare"
+}
+
+// Free is not annotated: it may allocate at will.
+func Free() []int { return append([]int{}, 1) }

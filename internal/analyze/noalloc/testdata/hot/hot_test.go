@@ -1,0 +1,16 @@
+package hot
+
+import "testing"
+
+func TestStepZeroAlloc(t *testing.T) {
+	s := &scratch{buf: make([]int32, 16)}
+	if n := testing.AllocsPerRun(100, func() { s.head = 0; s.Step(1) }); n != 0 {
+		t.Fatalf("Step allocated %v times per run", n)
+	}
+}
+
+// TestWeakGate exists but measures nothing: the analyzer flags noalloc
+// annotations that name it.
+func TestWeakGate(t *testing.T) {
+	WeakGate()
+}

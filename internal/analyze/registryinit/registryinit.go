@@ -1,0 +1,282 @@
+// Package registryinit defines the planarvet analyzer that polices the
+// separator-engine registry discipline.
+//
+// The sepengine registry is the trust boundary of the separator
+// subsystem: every backend registers under a name, and no Result leaves
+// the package without passing the engine-agnostic certifier. Both halves
+// of that contract are conventions that nothing in the type system
+// enforces, so the analyzer does:
+//
+//   - Register is callable only from package init functions. The
+//     registry set is then static — fixed at link time, the same in every
+//     process — which is what lets Register panic on duplicates instead
+//     of returning an error, and what makes `planard -engines` output a
+//     property of the binary rather than of execution order.
+//   - Every registered engine's Name() must return a compile-time string
+//     constant (a literal or a named constant such as DefaultEngine).
+//     Names computed at runtime defeat static duplicate detection, and
+//     duplicates among the constants are reported by the analyzer before
+//     the panic would fire.
+//   - Every return of the engine's FindCycleSeparator must route its
+//     Result through the package validation helper (finish, which runs
+//     cert.CheckSeparator and the side-mask oracles): a return is nil, a
+//     direct validator call, or an identifier assigned from one. An
+//     engine cannot hand out an unvalidated separator without tripping
+//     this check or carrying a reviewed //planarvet:registryok <reason>.
+package registryinit
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"planardfs/internal/analyze/vetutil"
+)
+
+// Defaults for the analyzer flags; override with -registryinit.registries
+// and -registryinit.validators.
+const (
+	DefaultRegistries = "internal/sepengine"
+	DefaultValidators = "finish"
+)
+
+var (
+	registries string
+	validators string
+)
+
+// Analyzer enforces init-only registration, constant engine names and
+// validator-routed results in the registry packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "registryinit",
+	Doc:  "sepengine.Register only from init with a compile-time constant engine name; FindCycleSeparator results must route through the cert validation helper (suppress with //planarvet:registryok <reason>)",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&registries, "registries", DefaultRegistries,
+		"comma-separated import-path suffixes of engine-registry packages")
+	Analyzer.Flags.StringVar(&validators, "validators", DefaultValidators,
+		"comma-separated names of the in-package validation helpers results must route through")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := vetutil.NewDirectives(pass)
+	dirs.ReportBare(pass, "registryok")
+	if !vetutil.PathMatches(pass.Pkg.Path(), registries) {
+		return nil, nil
+	}
+
+	// Index the package's methods by receiver base type name, so engine
+	// types resolved from Register arguments can be traced to their
+	// Name/FindCycleSeparator declarations.
+	methods := make(map[string]map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			base := recvBase(fd.Recv.List[0].Type)
+			if base == "" {
+				continue
+			}
+			m := methods[base]
+			if m == nil {
+				m = make(map[string]*ast.FuncDecl)
+				methods[base] = m
+			}
+			m[fd.Name.Name] = fd
+		}
+	}
+
+	seen := make(map[string]token.Pos) // engine name -> first registration
+	checked := make(map[string]bool)   // engine types already routed-checked
+	for _, f := range pass.Files {
+		if vetutil.InTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			inInit := isFunc && fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isRegisterCall(call) || len(call.Args) != 1 {
+					return true
+				}
+				if !inInit && !dirs.SuppressedAt(call.Pos(), "registryok") {
+					pass.Reportf(call.Pos(),
+						"%s called outside an init function: engines register at package initialization only, keeping the registry set static and auditable (//planarvet:registryok <reason> to escape)",
+						types.ExprString(call.Fun))
+				}
+				checkEngine(pass, dirs, call, methods, seen, checked)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isRegisterCall matches calls to a function named Register — the
+// in-package registration entry point (or a qualified alias of it).
+func isRegisterCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "Register"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Register"
+	}
+	return false
+}
+
+// checkEngine resolves the registered engine type and enforces the
+// constant-name and validator-routing contracts on its methods.
+func checkEngine(pass *analysis.Pass, dirs *vetutil.Directives, call *ast.CallExpr, methods map[string]map[string]*ast.FuncDecl, seen map[string]token.Pos, checked map[string]bool) {
+	t := pass.TypesInfo.TypeOf(call.Args[0])
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	typeName := named.Obj().Name()
+
+	name, nameOK := constantName(pass, methods[typeName]["Name"])
+	if !nameOK {
+		if !dirs.SuppressedAt(call.Pos(), "registryok") {
+			pass.Reportf(call.Pos(),
+				"registered engine %s has no compile-time constant Name(): the registry key must be a string literal or named constant so duplicate names are caught statically (//planarvet:registryok <reason> to escape)",
+				typeName)
+		}
+	} else if first, dup := seen[name]; dup {
+		pass.Reportf(call.Pos(),
+			"duplicate engine name %q: already registered at %s; Register would panic at process start",
+			name, pass.Fset.Position(first))
+	} else {
+		seen[name] = call.Pos()
+	}
+
+	if fd := methods[typeName]["FindCycleSeparator"]; fd != nil && !checked[typeName] {
+		checked[typeName] = true
+		checkRouting(pass, dirs, typeName, fd)
+	}
+}
+
+// recvBase returns the base type name of a method receiver.
+func recvBase(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr: // generic receiver
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// constantName extracts the engine name from a Name() method that returns
+// a single compile-time string constant; ok is false for a missing method,
+// multiple returns or a computed value.
+func constantName(pass *analysis.Pass, fd *ast.FuncDecl) (string, bool) {
+	if fd == nil || fd.Body == nil {
+		return "", false
+	}
+	var rets []*ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			rets = append(rets, r)
+		}
+		return true
+	})
+	if len(rets) != 1 || len(rets[0].Results) != 1 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[rets[0].Results[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkRouting enforces that every top-level return of FindCycleSeparator
+// hands its first result to a validator: nil, a direct validator call, or
+// an identifier assigned from one somewhere in the body.
+func checkRouting(pass *analysis.Pass, dirs *vetutil.Directives, typeName string, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	// Identifiers assigned (anywhere in the body) from a validator call.
+	validated := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isValidatorCall(call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			validated[id.Name] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // helper closures return other things
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		first := ret.Results[0]
+		switch e := first.(type) {
+		case *ast.Ident:
+			if e.Name == "nil" || validated[e.Name] {
+				return true
+			}
+		case *ast.CallExpr:
+			if isValidatorCall(e) {
+				return true
+			}
+		}
+		if !dirs.SuppressedAt(ret.Pos(), "registryok") {
+			pass.Reportf(ret.Pos(),
+				"return in %s.FindCycleSeparator bypasses the validation helper (%s): every Result must pass cert validation before leaving the registry package (//planarvet:registryok <reason> to escape)",
+				typeName, validators)
+		}
+		return true
+	})
+}
+
+// isValidatorCall matches a call to one of the configured validator
+// helpers by name (plain or method/package qualified).
+func isValidatorCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	for _, v := range strings.Split(validators, ",") {
+		if strings.TrimSpace(v) == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package registryinit_test
+
+import (
+	"testing"
+
+	"planardfs/internal/analyze/analyzetest"
+)
+
+func TestRegistryinit(t *testing.T) {
+	analyzetest.Run(t, "registryinit", "testdata")
+}
+
+// TestRegistriesOverride points the analyzer at the fixture's clean
+// package, whose call-time Register must then be flagged.
+func TestRegistriesOverride(t *testing.T) {
+	analyzetest.RunExpectFindings(t, "registryinit", "testdata", "-registryinit.registries=clean")
+}

@@ -1,0 +1,7 @@
+// Package clean is outside the registry package list: its Register is
+// somebody else's business.
+package clean
+
+func Register(x int) {}
+
+func Use() { Register(1) }

@@ -1,0 +1,3 @@
+module registryinittest
+
+go 1.22

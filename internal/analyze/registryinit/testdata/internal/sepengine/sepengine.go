@@ -1,0 +1,132 @@
+// Package sepengine mirrors the real registry's shapes for the
+// registryinit fixture: a Register entry point, a finish validation
+// helper, and engines exercising each contract.
+package sepengine
+
+type Config struct{}
+
+// Result is an engine output.
+type Result struct{ Engine string }
+
+// Engine mirrors the registry interface.
+type Engine interface {
+	Name() string
+	FindCycleSeparator(cfg *Config) (*Result, error)
+}
+
+var engines = map[string]Engine{}
+
+// Register adds an engine to the registry.
+func Register(e Engine) { engines[e.Name()] = e }
+
+// finish is the validation helper results must route through.
+func finish(name string) (*Result, error) { return &Result{Engine: name}, nil }
+
+// DefaultEngine names the default backend.
+const DefaultEngine = "default"
+
+// goodEngine does everything right: literal name, direct finish return.
+type goodEngine struct{}
+
+func (goodEngine) Name() string { return "good" }
+
+func (goodEngine) FindCycleSeparator(cfg *Config) (*Result, error) {
+	return finish("good")
+}
+
+// constEngine names itself via a named constant and returns an identifier
+// assigned from finish — both allowed.
+type constEngine struct{}
+
+func (constEngine) Name() string { return DefaultEngine }
+
+func (constEngine) FindCycleSeparator(cfg *Config) (*Result, error) {
+	out, err := finish(DefaultEngine)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func init() {
+	Register(goodEngine{})
+	Register(constEngine{})
+}
+
+// lateEngine is registered outside init.
+type lateEngine struct{}
+
+func (lateEngine) Name() string { return "late" }
+
+func (lateEngine) FindCycleSeparator(cfg *Config) (*Result, error) { return finish("late") }
+
+// RegisterLate registers at call time, defeating the static registry set.
+func RegisterLate() {
+	Register(lateEngine{}) // want "Register called outside an init function"
+}
+
+var pfx = "dyn-"
+
+// dynEngine computes its name at runtime.
+type dynEngine struct{}
+
+func (dynEngine) Name() string { return pfx + "amic" }
+
+func (dynEngine) FindCycleSeparator(cfg *Config) (*Result, error) { return finish("dyn") }
+
+func init() {
+	Register(dynEngine{}) // want "registered engine dynEngine has no compile-time constant Name"
+}
+
+// dupEngine collides with goodEngine's name.
+type dupEngine struct{}
+
+func (dupEngine) Name() string { return "good" }
+
+func (dupEngine) FindCycleSeparator(cfg *Config) (*Result, error) { return finish("good") }
+
+func init() {
+	Register(dupEngine{}) // want `duplicate engine name "good"`
+}
+
+// rawEngine hands out a Result that never saw the validator.
+type rawEngine struct{}
+
+func (rawEngine) Name() string { return "raw" }
+
+func (rawEngine) FindCycleSeparator(cfg *Config) (*Result, error) {
+	return &Result{Engine: "raw"}, nil // want "bypasses the validation helper"
+}
+
+func init() {
+	Register(rawEngine{})
+}
+
+// escEngine returns a precomputed result under a reviewed escape.
+type escEngine struct{}
+
+func (escEngine) Name() string { return "esc" }
+
+var cached = &Result{Engine: "esc"}
+
+func (escEngine) FindCycleSeparator(cfg *Config) (*Result, error) {
+	return cached, nil //planarvet:registryok cached result was validated by finish when built
+}
+
+func init() {
+	Register(escEngine{})
+}
+
+// bareEngine escapes the routing check with a bare directive: the bypass
+// report is muted but the directive itself is warned about.
+type bareEngine struct{}
+
+func (bareEngine) Name() string { return "bare" }
+
+func (bareEngine) FindCycleSeparator(cfg *Config) (*Result, error) {
+	return &Result{Engine: "bare"}, nil //planarvet:registryok // want "bare //planarvet:registryok directive"
+}
+
+func init() {
+	Register(bareEngine{})
+}

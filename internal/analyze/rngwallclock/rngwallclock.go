@@ -63,6 +63,7 @@ var randConstructors = map[string]bool{
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	dirs := vetutil.NewDirectives(pass)
+	dirs.ReportBare(pass, "rng", "wallclock")
 	allowed := vetutil.PathMatches(pass.Pkg.Path(), allow)
 	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
 		call := n.(*ast.CallExpr)

@@ -40,6 +40,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	dirs := vetutil.NewDirectives(pass)
+	dirs.ReportBare(pass, "spanok")
 
 	// opened maps the local variable bound to a StartSpan result to the
 	// position of the opening call; ended records every object that has an

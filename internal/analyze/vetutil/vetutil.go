@@ -1,6 +1,6 @@
 // Package vetutil holds the helpers shared by the planarvet analyzers:
-// //planarvet:<tag> directive lookup, import-path suffix matching and
-// test-file detection.
+// //planarvet:<tag> directive lookup, bare-directive (missing reason)
+// reporting, import-path suffix matching and test-file detection.
 package vetutil
 
 import (
@@ -17,10 +17,13 @@ const DirectivePrefix = "//planarvet:"
 
 // Directives indexes every //planarvet:<tag> comment of a pass by file,
 // line and tag, so analyzers can answer "is this report suppressed?" in
-// O(1) per site.
+// O(1) per site. Each entry remembers its reason string (empty for a bare
+// directive) and position, so the owning analyzer can warn on directives
+// used as mute buttons rather than reviewed claims.
 type Directives struct {
 	fset  *token.FileSet
-	byTag map[string]map[fileLine]bool
+	byTag map[string]map[fileLine]string // reason text, "" when bare
+	all   []directive
 }
 
 type fileLine struct {
@@ -28,28 +31,51 @@ type fileLine struct {
 	line int
 }
 
+type directive struct {
+	tag    string
+	reason string
+	pos    token.Pos
+}
+
+// splitDirective parses a //planarvet:... comment into tag and reason. A
+// trailing analyzer-fixture annotation (`// want "..."`) is not part of
+// the reason — stripping it lets fixtures place a want on the directive's
+// own line, which is where bare-directive warnings are reported.
+func splitDirective(text string) (tag, reason string, ok bool) {
+	rest, ok := strings.CutPrefix(text, DirectivePrefix)
+	if !ok {
+		return "", "", false
+	}
+	tag = rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		tag = rest[:i]
+		reason = strings.TrimSpace(rest[i+1:])
+	}
+	if i := strings.Index(reason, "// want"); i >= 0 {
+		reason = strings.TrimSpace(reason[:i])
+	}
+	return tag, reason, true
+}
+
 // NewDirectives scans the files of pass once and indexes its planarvet
 // annotations.
 func NewDirectives(pass *analysis.Pass) *Directives {
-	d := &Directives{fset: pass.Fset, byTag: make(map[string]map[fileLine]bool)}
+	d := &Directives{fset: pass.Fset, byTag: make(map[string]map[fileLine]string)}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+				tag, reason, ok := splitDirective(c.Text)
 				if !ok {
 					continue
-				}
-				tag := rest
-				if i := strings.IndexAny(rest, " \t"); i >= 0 {
-					tag = rest[:i]
 				}
 				pos := pass.Fset.Position(c.Pos())
 				m := d.byTag[tag]
 				if m == nil {
-					m = make(map[fileLine]bool)
+					m = make(map[fileLine]string)
 					d.byTag[tag] = m
 				}
-				m[fileLine{pos.Filename, pos.Line}] = true
+				m[fileLine{pos.Filename, pos.Line}] = reason
+				d.all = append(d.all, directive{tag: tag, reason: reason, pos: c.Pos()})
 			}
 		}
 	}
@@ -65,7 +91,28 @@ func (d *Directives) SuppressedAt(pos token.Pos, tag string) bool {
 		return false
 	}
 	p := d.fset.Position(pos)
-	return m[fileLine{p.Filename, p.Line}] || m[fileLine{p.Filename, p.Line - 1}]
+	_, same := m[fileLine{p.Filename, p.Line}]
+	if same {
+		return true
+	}
+	_, above := m[fileLine{p.Filename, p.Line - 1}]
+	return above
+}
+
+// ReasonAt returns the reason string of the //planarvet:<tag> annotation
+// covering the source line of pos (same line or the line directly above)
+// and whether such an annotation exists.
+func (d *Directives) ReasonAt(pos token.Pos, tag string) (string, bool) {
+	m := d.byTag[tag]
+	if m == nil {
+		return "", false
+	}
+	p := d.fset.Position(pos)
+	if r, ok := m[fileLine{p.Filename, p.Line}]; ok {
+		return r, true
+	}
+	r, ok := m[fileLine{p.Filename, p.Line - 1}]
+	return r, ok
 }
 
 // SuppressedDecl reports whether a declaration is annotated: like
@@ -73,24 +120,52 @@ func (d *Directives) SuppressedAt(pos token.Pos, tag string) bool {
 // comment groups attached to the declaration (the TypeSpec's own doc or
 // the enclosing GenDecl's).
 func (d *Directives) SuppressedDecl(pos token.Pos, tag string, docs ...*ast.CommentGroup) bool {
-	if d.SuppressedAt(pos, tag) {
-		return true
+	_, ok := d.DeclReason(pos, tag, docs...)
+	return ok
+}
+
+// DeclReason returns the reason of a declaration-level //planarvet:<tag>
+// annotation and whether one exists: the annotation may cover the
+// declaration's line (as in ReasonAt) or appear anywhere in the attached
+// doc comment groups.
+func (d *Directives) DeclReason(pos token.Pos, tag string, docs ...*ast.CommentGroup) (string, bool) {
+	if r, ok := d.ReasonAt(pos, tag); ok {
+		return r, true
 	}
 	for _, cg := range docs {
 		if cg == nil {
 			continue
 		}
 		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
-			if !ok {
-				continue
-			}
-			if rest == tag || strings.HasPrefix(rest, tag+" ") || strings.HasPrefix(rest, tag+"\t") {
-				return true
+			t, reason, ok := splitDirective(c.Text)
+			if ok && t == tag {
+				return reason, true
 			}
 		}
 	}
-	return false
+	return "", false
+}
+
+// ReportBare reports every bare //planarvet:<tag> directive of the pass —
+// a directive with no reason string after the tag — for the given tags.
+// Each analyzer calls it for the tags it owns, so a directive is warned
+// about exactly once tree-wide. An annotation is a reviewed claim that an
+// invariant holds for a non-obvious reason; without the reason it is just
+// a mute button, which this warning keeps out of the tree. Test files are
+// exempt (fixtures and white-box tests annotate freely).
+func (d *Directives) ReportBare(pass *analysis.Pass, tags ...string) {
+	owned := make(map[string]bool, len(tags))
+	for _, t := range tags {
+		owned[t] = true
+	}
+	for _, dir := range d.all {
+		if !owned[dir.tag] || dir.reason != "" || InTestFile(pass, dir.pos) {
+			continue
+		}
+		pass.Reportf(dir.pos,
+			"bare //planarvet:%s directive: every escape must carry a reason (//planarvet:%s <why the invariant holds>)",
+			dir.tag, dir.tag)
+	}
 }
 
 // PathMatches reports whether the import path matches any of the

@@ -2,6 +2,27 @@ package vetutil
 
 import "testing"
 
+func TestSplitDirective(t *testing.T) {
+	cases := []struct {
+		text, tag, reason string
+		ok                bool
+	}{
+		{"//planarvet:narrowok id fits", "narrowok", "id fits", true},
+		{"//planarvet:narrowok", "narrowok", "", true},
+		{"//planarvet:narrowok\t tabbed reason", "narrowok", "tabbed reason", true},
+		{`//planarvet:narrowok // want "bare"`, "narrowok", "", true},
+		{`//planarvet:narrowok real reason // want "bare"`, "narrowok", "real reason", true},
+		{"// not a directive", "", "", false},
+	}
+	for _, c := range cases {
+		tag, reason, ok := splitDirective(c.text)
+		if tag != c.tag || reason != c.reason || ok != c.ok {
+			t.Errorf("splitDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, tag, reason, ok, c.tag, c.reason, c.ok)
+		}
+	}
+}
+
 func TestPathMatches(t *testing.T) {
 	cases := []struct {
 		path, list string

@@ -36,12 +36,12 @@ type ProtocolError struct {
 
 // Error implements error.
 func (e *ProtocolError) Error() string {
-	switch e.Kind {
-	case ErrInvalidPort:
+	switch {
+	case errors.Is(e.Kind, ErrInvalidPort):
 		return fmt.Sprintf("congest: round %d: node %d sent on invalid port %d", e.Round, e.Vertex, e.Port)
-	case ErrDuplicateSend:
+	case errors.Is(e.Kind, ErrDuplicateSend):
 		return fmt.Sprintf("congest: round %d: node %d sent two messages on port %d in one round", e.Round, e.Vertex, e.Port)
-	case ErrMessageTooLarge:
+	case errors.Is(e.Kind, ErrMessageTooLarge):
 		return fmt.Sprintf("congest: round %d: node %d sent a message of %d words on port %d, exceeding the %d-word limit",
 			e.Round, e.Vertex, e.Words, e.Port, e.Limit)
 	}

@@ -425,7 +425,12 @@ func (e *engine) runPhase(ph int) {
 
 // step advances one node and validates its sends. A valid send stamps the
 // sender-side port with the current round and records the outbox index, so
-// delivery can find pending messages without touching edge tables.
+// delivery can find pending messages without touching edge tables. This is
+// half of the steady-state round loop: everything it writes lives in
+// arrays allocated by newEngine, and the only constructions are the
+// protocol-error values on the abort path.
+//
+//planarvet:noalloc TestRoundLoopZeroAlloc
 func (e *engine) step(v int) {
 	if e.inj != nil && e.inj.Crashed(e.round, v) {
 		// Crash-stop: the program is not called, nothing is sent (stale
@@ -439,15 +444,16 @@ func (e *engine) step(v int) {
 	deg := e.off[v+1] - base
 	for i, out := range send {
 		if out.Port < 0 || out.Port >= deg {
-			e.errs[v] = &ProtocolError{Kind: ErrInvalidPort, Round: e.round, Vertex: v, Port: out.Port}
+			e.errs[v] = &ProtocolError{Kind: ErrInvalidPort, Round: e.round, Vertex: v, Port: out.Port} //planarvet:allocok abort path: a protocol violation ends the run, the steady state never reaches it
 			return
 		}
 		fp := base + out.Port
 		if e.portEpoch[fp] == e.round {
-			e.errs[v] = &ProtocolError{Kind: ErrDuplicateSend, Round: e.round, Vertex: v, Port: out.Port}
+			e.errs[v] = &ProtocolError{Kind: ErrDuplicateSend, Round: e.round, Vertex: v, Port: out.Port} //planarvet:allocok abort path: a protocol violation ends the run, the steady state never reaches it
 			return
 		}
 		if out.Msg.Words() > e.maxWords {
+			//planarvet:allocok abort path: a protocol violation ends the run, the steady state never reaches it
 			e.errs[v] = &ProtocolError{Kind: ErrMessageTooLarge, Round: e.round, Vertex: v, Port: out.Port,
 				Words: out.Msg.Words(), Limit: e.maxWords}
 			return
@@ -467,6 +473,8 @@ func (e *engine) step(v int) {
 // Per-round edge congestion needs no per-edge bookkeeping: an edge carries
 // two messages in a round exactly when the receiver of one direction also
 // sent on the same port, which is one epoch-stamp comparison.
+//
+//planarvet:noalloc TestRoundLoopZeroAlloc
 func (e *engine) deliver(ws *shardStats, lo, hi int) {
 	ws.msgs, ws.words, ws.maxCong = 0, 0, 0
 	round := e.round
@@ -489,7 +497,7 @@ func (e *engine) deliver(ws *shardStats, lo, hi int) {
 				}
 				msg = m
 			}
-			inb = append(inb, Incoming{Port: rp, Msg: msg})
+			inb = append(inb, Incoming{Port: rp, Msg: msg}) //planarvet:allocok amortized: inboxNxt backing is recycled by the round-end buffer swap, capacity ramps up once then stabilises
 			ws.msgs++
 			ws.words += int64(msg.Words())
 			e.portLoad[base+rp]++

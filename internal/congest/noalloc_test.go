@@ -1,0 +1,75 @@
+package congest
+
+import (
+	"testing"
+
+	"planardfs/internal/graph"
+)
+
+// saturatorNode sends one preallocated message on every port each round and
+// never halts. It deliberately does NOT implement EventDriven, so the
+// classic step/deliver engine — the annotated noalloc pair — runs it.
+type saturatorNode struct {
+	out []Outgoing
+}
+
+func (c *saturatorNode) Round(round int, recv []Incoming) ([]Outgoing, bool) {
+	return c.out, false
+}
+
+// TestRoundLoopZeroAlloc is the runtime gate behind the
+// //planarvet:noalloc annotations on (*engine).step and (*engine).deliver:
+// once the double-buffered inboxes have ramped up to their steady-state
+// capacity, a full round (step barrier, delivery barrier, buffer swap)
+// performs zero allocations even with every edge saturated in both
+// directions.
+func TestRoundLoopZeroAlloc(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 0)
+	g.MustAddEdge(0, 2)
+
+	nw := New(g)
+	nw.Parallel = false // single shard: the measurement must not see goroutine churn
+	nodes := make([]Node, g.N())
+	for v := range nodes {
+		out := make([]Outgoing, g.Degree(v))
+		for p := range out {
+			out[p] = Outgoing{Port: p, Msg: Message{Kind: 7}}
+		}
+		nodes[v] = &saturatorNode{out: out}
+	}
+
+	e := newEngine(nw, nodes)
+	defer e.stop()
+	if e.event {
+		t.Fatal("classic engine expected: saturatorNode must not be EventDriven")
+	}
+	oneRound := func() {
+		e.runPhase(phaseStep)
+		e.runPhase(phaseDeliver)
+		e.inboxCur, e.inboxNxt = e.inboxNxt, e.inboxCur
+		e.round++
+	}
+	// Two warm-up rounds grow BOTH inbox buffers to steady-state capacity
+	// (each round fills only the next-round buffer before the swap).
+	oneRound()
+	oneRound()
+	for v := 0; v < e.n; v++ {
+		if e.errs[v] != nil {
+			t.Fatalf("warm-up round failed at vertex %d: %v", v, e.errs[v])
+		}
+	}
+
+	allocs := testing.AllocsPerRun(100, oneRound)
+	if allocs != 0 {
+		t.Fatalf("steady-state round allocates %.1f times, want 0", allocs)
+	}
+	for v := 0; v < e.n; v++ {
+		if got, want := len(e.inboxCur[v]), g.Degree(v); got != want {
+			t.Fatalf("vertex %d received %d messages, want %d", v, got, want)
+		}
+	}
+}

@@ -36,6 +36,7 @@ type joinScratch struct {
 	epoch   int32
 	queue   []int32 // componentsWithin BFS queue, reused
 	order   []int32 // 0/1 BFS settle order, reused
+	deque   []int32 // 0/1 BFS deque buffer, reused across attachBestPath calls
 }
 
 func newJoinScratch(n int) *joinScratch {
@@ -173,6 +174,7 @@ func componentsWithin(g *graph.Graph, sc *joinScratch, pt *PartialTree) [][]int 
 				w := g.Other(int(id), x)
 				if sc.inComp[w] && sc.seenEp[w] != ep && !pt.Has(w) {
 					sc.seenEp[w] = ep
+					//planarvet:narrowok w is a vertex id, < n and graph.New bounds n to MaxInt32
 					sc.queue = append(sc.queue, int32(w))
 				}
 			}
@@ -201,14 +203,34 @@ func attachBestPath(g *graph.Graph, pt *PartialTree, x []int, sc *joinScratch) e
 		sc.seenEp[v] = ep
 	}
 	// 0/1 BFS from entry: separator-separator edges cost 0. The deque lives
-	// in a buffer with front/back cursors; each relaxation pushes once, so
-	// 2m slots on each side suffice.
+	// in a scratch buffer with front/back cursors; each relaxation pushes
+	// once, so relaxCap slots on each side suffice. The buffer and the
+	// settle-order slice are (re)grown here, outside the noalloc core.
 	relaxCap := 1
 	for _, v := range x {
 		relaxCap += g.Degree(v)
 	}
-	buf := make([]int32, 2*relaxCap)
+	if cap(sc.deque) < 2*relaxCap {
+		sc.deque = make([]int32, 2*relaxCap)
+	}
+	if cap(sc.order) < len(x) {
+		sc.order = make([]int32, 0, len(x))
+	}
+	sc.run01BFS(g, entry, relaxCap, ep)
+	return pickAndAttach(g, pt, x, sc, anchor, ep)
+}
+
+// run01BFS is the steady-state core of the attachment: the 0/1 BFS over
+// the component, settling vertices into sc.order. attachBestPath presizes
+// sc.deque (2·relaxCap slots) and sc.order (component size) before the
+// call, so the loop itself touches the allocator not at all — this is the
+// deque the join phase spins on for every sub-phase of every component.
+//
+//planarvet:noalloc TestJoinDequeZeroAlloc
+func (sc *joinScratch) run01BFS(g *graph.Graph, entry, relaxCap int, ep int32) {
+	buf := sc.deque[:cap(sc.deque)]
 	f, b := relaxCap, relaxCap // [f, b) is the live deque
+	//planarvet:narrowok entry is a vertex id, < n and graph.New bounds n to MaxInt32
 	buf[b] = int32(entry)
 	b++
 	sc.visEp[entry] = ep
@@ -222,7 +244,8 @@ func attachBestPath(g *graph.Graph, pt *PartialTree, x []int, sc *joinScratch) e
 			continue
 		}
 		sc.setEp[v] = ep
-		sc.order = append(sc.order, int32(v))
+		//planarvet:narrowok v came out of the int32 deque, so it fits by construction
+		sc.order = append(sc.order, int32(v)) //planarvet:allocok order is presized to the component size by attachBestPath, append stays in capacity
 		for _, id := range g.IncidentEdges(v) {
 			w := g.Other(int(id), v)
 			if sc.seenEp[w] != ep || sc.setEp[w] == ep {
@@ -236,17 +259,25 @@ func attachBestPath(g *graph.Graph, pt *PartialTree, x []int, sc *joinScratch) e
 			if sc.visEp[w] != ep || d < sc.dist[w] {
 				sc.visEp[w] = ep
 				sc.dist[w] = d
+				//planarvet:narrowok v came out of the int32 deque, so it fits by construction
 				sc.parent[w] = int32(v)
 				if cost == 0 {
 					f--
+					//planarvet:narrowok w is a vertex id, < n and graph.New bounds n to MaxInt32
 					buf[f] = int32(w)
 				} else {
+					//planarvet:narrowok w is a vertex id, < n and graph.New bounds n to MaxInt32
 					buf[b] = int32(w)
 					b++
 				}
 			}
 		}
 	}
+}
+
+// pickAndAttach finishes the DFS-RULE after the BFS: the ancestor sum over
+// the settle order, the best-path selection, and the attachment.
+func pickAndAttach(g *graph.Graph, pt *PartialTree, x []int, sc *joinScratch, anchor int, ep int32) error {
 	// Count separator vertices on each root path (an ancestor sum): in the
 	// 0/1 BFS, parent[w] is always settled before w, so the settle order is
 	// a valid top-down sweep.

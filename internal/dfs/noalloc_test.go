@@ -1,0 +1,50 @@
+package dfs
+
+import (
+	"testing"
+
+	"planardfs/internal/graph"
+)
+
+// TestJoinDequeZeroAlloc is the runtime gate behind the
+// //planarvet:noalloc annotation on (*joinScratch).run01BFS: with the
+// deque buffer and the settle-order slice presized the way attachBestPath
+// presizes them, the 0/1 BFS itself performs zero allocations.
+func TestJoinDequeZeroAlloc(t *testing.T) {
+	g := graph.New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(4, 5)
+	g.MustAddEdge(5, 0)
+	g.MustAddEdge(0, 3)
+
+	x := []int{0, 1, 2, 3, 4, 5}
+	sc := newJoinScratch(g.N())
+	sc.missing[1] = true
+	sc.missing[2] = true
+
+	// Mirror attachBestPath's presizing exactly.
+	relaxCap := 1
+	for _, v := range x {
+		relaxCap += g.Degree(v)
+	}
+	sc.deque = make([]int32, 2*relaxCap)
+	sc.order = make([]int32, 0, len(x))
+
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.epoch++
+		ep := sc.epoch
+		for _, v := range x {
+			sc.seenEp[v] = ep
+		}
+		sc.run01BFS(g, 0, relaxCap, ep)
+	})
+	if allocs != 0 {
+		t.Fatalf("run01BFS allocates %.1f times, want 0", allocs)
+	}
+	if len(sc.order) != len(x) {
+		t.Fatalf("BFS settled %d vertices, want %d", len(sc.order), len(x))
+	}
+}

@@ -53,6 +53,7 @@ func embedFromCoords(g *graph.Graph, xs, ys []float64) (*planar.Embedding, error
 			tails[d] = int32(v)
 			darts = append(darts, d)
 		}
+		//planarvet:narrowok degrees are < n and graph.New bounds n to MaxInt32
 		off[v+1] = off[v] + int32(g.Degree(v))
 	}
 	// One global sort: tails group darts vertex-major (matching off), the

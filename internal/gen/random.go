@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"planardfs/internal/graph"
@@ -32,6 +33,12 @@ type triBuilder struct {
 // with arrays presized for a triangulation on n vertices: 3n-6 edges,
 // 6n-12 darts, 2n-5 inner faces.
 func newTriBuilder(n int) *triBuilder {
+	// The dart arena is indexed by int32 (newPair hands out int32 dart ids
+	// as the arena grows), so the full triangulation must fit the dart
+	// space up front — past this bound the ids would wrap silently.
+	if n > (math.MaxInt32+12)/6 {
+		panic(fmt.Sprintf("gen: triangulation on %d vertices needs %d darts, exceeding the int32 dart space", n, 6*n-12))
+	}
 	tb := &triBuilder{
 		head:  make([]int32, 0, 6*n-12),
 		next:  make([]int32, 0, 6*n-12),
@@ -52,21 +59,31 @@ func newTriBuilder(n int) *triBuilder {
 
 // newPair allocates the dart pair of edge {u,w} and returns the u->w dart;
 // its reverse w->u is the returned value xor 1. Both start list-terminal.
+// The arena arrays are presized by newTriBuilder, so handing out a pair is
+// two in-capacity appends — the generation loop never grows them.
+//
+//planarvet:noalloc TestGenerationAllocsBounded
 func (tb *triBuilder) newPair(u, w int) int32 {
+	//planarvet:narrowok the arena holds at most 6n-12 darts and newTriBuilder bounds that by MaxInt32
 	d := int32(len(tb.head))
-	tb.head = append(tb.head, int32(w), int32(u))
-	tb.next = append(tb.next, -1, -1)
+	//planarvet:narrowok u and w are vertex ids < n, bounded via the dart-space check in newTriBuilder
+	tb.head = append(tb.head, int32(w), int32(u)) //planarvet:allocok head is presized to 6n-12 darts by newTriBuilder, append stays in capacity
+	tb.next = append(tb.next, -1, -1)             //planarvet:allocok next is presized to 6n-12 darts by newTriBuilder, append stays in capacity
 	return d
 }
 
 // insertAfter splices dart d into the rotation of its tail immediately
 // after dart prev (which must share the same tail).
+//
+//planarvet:noalloc TestGenerationAllocsBounded
 func (tb *triBuilder) insertAfter(prev, d int32) {
 	tb.next[d] = tb.next[prev]
 	tb.next[prev] = d
 }
 
 // stack inserts a new vertex inside face index f and returns its id.
+//
+//planarvet:noalloc TestGenerationAllocsBounded
 func (tb *triBuilder) stack(f int) int {
 	dab, dbc, dca := tb.faces[f][0], tb.faces[f][1], tb.faces[f][2]
 	a, b, c := int(tb.head[dca]), int(tb.head[dab]), int(tb.head[dbc])
@@ -88,7 +105,7 @@ func (tb *triBuilder) stack(f int) int {
 	tb.next[dbx^1] = dax ^ 1
 	// Replace face f by (a,b,x) and append (b,c,x), (c,a,x).
 	tb.faces[f] = [3]int32{dab, dbx, dax ^ 1}
-	tb.faces = append(tb.faces, [3]int32{dbc, dcx, dbx ^ 1}, [3]int32{dca, dax, dcx ^ 1})
+	tb.faces = append(tb.faces, [3]int32{dbc, dcx, dbx ^ 1}, [3]int32{dca, dax, dcx ^ 1}) //planarvet:allocok faces is presized to 2n-5 triples by newTriBuilder, append stays in capacity
 	return x
 }
 
@@ -109,6 +126,7 @@ func (tb *triBuilder) build(name string, keep func(u, v int) bool) (*Instance, e
 	// Stream the kept rotation into a flat vertex-major dart array.
 	off := make([]int32, n+1)
 	for v := 0; v < n; v++ {
+		//planarvet:narrowok degrees are < n and graph.New bounds n to MaxInt32
 		off[v+1] = off[v] + int32(g.Degree(v))
 	}
 	darts := make([]int32, 0, 2*g.M())
@@ -120,6 +138,7 @@ func (tb *triBuilder) build(name string, keep func(u, v int) bool) (*Instance, e
 				if !ok {
 					return nil, fmt.Errorf("gen: %s lost edge {%d,%d}", name, v, w)
 				}
+				//planarvet:narrowok darts are < 2m and AddEdge bounds the edge count to MaxInt32/2
 				darts = append(darts, int32(planar.DartFrom(g, id, v)))
 			}
 		}
@@ -313,6 +332,7 @@ func treeInstance(name string, parent []int) (*Instance, error) {
 	off := make([]int32, n+1)
 	darts := make([]int32, 0, 2*g.M())
 	for v := 0; v < n; v++ {
+		//planarvet:narrowok degrees are < n and graph.New bounds n to MaxInt32
 		off[v+1] = off[v] + int32(g.Degree(v))
 		for _, id := range g.IncidentEdges(v) {
 			u, _ := g.EndpointsOf(int(id))

@@ -160,7 +160,9 @@ func (g *Graph) AddEdge(u, v int) (int, error) {
 	g.endU = append(g.endU, int32(u))
 	g.endV = append(g.endV, int32(v))
 	g.nextD = append(g.nextD, -1, -1)
+	//planarvet:narrowok id < MaxInt32/2 is checked above, so both darts 2id and 2id+1 fit
 	g.appendDart(u, int32(2*id))
+	//planarvet:narrowok id < MaxInt32/2 is checked above, so both darts 2id and 2id+1 fit
 	g.appendDart(v, int32(2*id+1))
 	g.deg[u]++
 	g.deg[v]++
@@ -253,6 +255,7 @@ func (g *Graph) EndpointsOf(id int) (u, v int32) {
 // endpoint arrays directly. The caller must hold the incidence invariant
 // (x is an endpoint); violations return the arithmetic complement.
 func (g *Graph) Other(id int, x int) int {
+	//planarvet:narrowok x is an endpoint vertex id by the incidence invariant, < n and New bounds n to MaxInt32
 	return int(g.endU[id] + g.endV[id] - int32(x))
 }
 
@@ -281,6 +284,7 @@ func (g *Graph) Neighbors(v int) []int {
 	g.ensure()
 	inc := g.inc[g.off[v]:g.off[v+1]]
 	out := make([]int, len(inc))
+	//planarvet:narrowok v indexed g.off above, so it is a vertex id < n ≤ MaxInt32
 	v32 := int32(v)
 	for i, id := range inc {
 		out[i] = int(g.endU[id] + g.endV[id] - v32)

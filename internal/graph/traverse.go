@@ -31,6 +31,7 @@ func (g *Graph) BFS(src int) *BFSResult {
 		v := queue[0]
 		queue = queue[1:]
 		res.Order = append(res.Order, v)
+		//planarvet:narrowok v is a vertex id from the queue, < n and New bounds n to MaxInt32
 		v32 := int32(v)
 		for _, id := range g.inc[g.off[v]:g.off[v+1]] {
 			w := int(g.endU[id] + g.endV[id] - v32)
@@ -139,6 +140,7 @@ func (g *Graph) ComponentsAvoidingMask(removed []bool) [][]int {
 			x := queue[0]
 			queue = queue[1:]
 			comp = append(comp, x)
+			//planarvet:narrowok x is a vertex id from the queue, < n and New bounds n to MaxInt32
 			x32 := int32(x)
 			for _, id := range g.inc[g.off[x]:g.off[x+1]] {
 				w := int(g.endU[id] + g.endV[id] - x32)

@@ -117,6 +117,7 @@ func (emb *Embedding) placeDart(v, i, d int) error {
 	if emb.pos[d] != -1 {
 		return fmt.Errorf("planar: dart %d listed twice", d)
 	}
+	//planarvet:narrowok i indexes a rotation, so i < deg(v) < n and graph.New bounds n to MaxInt32
 	emb.pos[d] = int32(i)
 	return nil
 }
@@ -182,10 +183,13 @@ func (emb *Embedding) linkCycle(v int, dart func(i int) int, k int) {
 	if k == 0 {
 		return
 	}
+	//planarvet:narrowok every dart was validated by placeDart against the 2m dart space, and AddEdge bounds 2m to MaxInt32
 	emb.first[v] = int32(dart(0))
 	for i := 0; i < k; i++ {
 		d := dart(i)
+		//planarvet:narrowok every dart was validated by placeDart against the 2m dart space, and AddEdge bounds 2m to MaxInt32
 		emb.next[d] = int32(dart((i + 1) % k))
+		//planarvet:narrowok every dart was validated by placeDart against the 2m dart space, and AddEdge bounds 2m to MaxInt32
 		emb.prev[d] = int32(dart((i - 1 + k) % k))
 	}
 }

@@ -21,28 +21,49 @@ type Faces struct {
 }
 
 // TraceFaces computes all faces of the embedding by iterating the FaceNext
-// successor rule. Face f's cycle begins at its smallest dart.
+// successor rule. Face f's cycle begins at its smallest dart. The
+// allocation prologue lives here; the trace itself is the noalloc core
+// below, so retracing after virtual-edge insertions stays GC-quiet.
 func (emb *Embedding) TraceFaces() *Faces {
 	m2 := 2 * emb.g.M()
-	fs := &Faces{emb: emb, FaceOf: make([]int32, m2), cyc: make([]int32, m2)}
+	fs := &Faces{
+		emb:    emb,
+		FaceOf: make([]int32, m2),
+		cyc:    make([]int32, m2),
+		// Every face holds at least one dart, so m2+1 offsets suffice.
+		off: make([]int32, 1, m2+1),
+	}
+	emb.traceFacesInto(fs)
+	return fs
+}
+
+// traceFacesInto runs the face trace proper over storage presized by
+// TraceFaces: FaceOf and cyc hold 2m darts, off has capacity for one
+// offset per face plus the leading zero. This is the separator pipeline's
+// steady-state face walk — it re-runs after every virtual-edge insertion —
+// so the loop must not touch the allocator.
+//
+//planarvet:noalloc TestFaceTraceZeroAlloc
+func (emb *Embedding) traceFacesInto(fs *Faces) {
+	fs.off = fs.off[:1]
 	for i := range fs.FaceOf {
 		fs.FaceOf[i] = -1
 	}
-	fs.off = append(fs.off, 0)
 	cursor := 0
-	for d := 0; d < m2; d++ {
+	for d := 0; d < len(fs.FaceOf); d++ {
 		if fs.FaceOf[d] != -1 {
 			continue
 		}
+		//planarvet:narrowok one offset per face, so len(fs.off) ≤ 2m+1 and AddEdge bounds 2m to MaxInt32
 		id := int32(len(fs.off) - 1)
 		for x := int32(d); fs.FaceOf[x] == -1; x = emb.next[int(x)^1] {
 			fs.FaceOf[x] = id
 			fs.cyc[cursor] = x
 			cursor++
 		}
-		fs.off = append(fs.off, int32(cursor))
+		//planarvet:narrowok cursor counts traced darts, ≤ 2m which AddEdge bounds to MaxInt32
+		fs.off = append(fs.off, int32(cursor)) //planarvet:allocok off is presized to one slot per face by TraceFaces, append stays in capacity
 	}
-	return fs
 }
 
 // Count returns the number of faces.

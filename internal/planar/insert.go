@@ -45,7 +45,9 @@ func (emb *Embedding) InsertEdge(ins Insertion) (*graph.Graph, *Embedding, error
 	}
 	nemb.headD[dU] = int32(ins.V)
 	nemb.headD[dU^1] = int32(ins.U)
+	//planarvet:narrowok dU and dV are darts of the new edge, < 2m and AddEdge bounds 2m to MaxInt32
 	nemb.splice(ins.U, ins.PosU, int32(dU), g.Degree(ins.U))
+	//planarvet:narrowok dU and dV are darts of the new edge, < 2m and AddEdge bounds 2m to MaxInt32
 	nemb.splice(ins.V, ins.PosV, int32(dV), g.Degree(ins.V))
 	return ng, nemb, nil
 }

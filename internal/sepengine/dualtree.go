@@ -57,8 +57,10 @@ func (dualTreeEngine) FindCycleSeparator(cfg *weights.Config, opts Options) (*Re
 	fill := make([]int32, nf)
 	for _, e := range fund {
 		f0, f1 := dual.Side[e][0], dual.Side[e][1]
+		//planarvet:narrowok e is a primal edge id and AddEdge bounds the edge count to MaxInt32/2
 		adj[off[f0]+fill[f0]] = int32(e)
 		fill[f0]++
+		//planarvet:narrowok e is a primal edge id and AddEdge bounds the edge count to MaxInt32/2
 		adj[off[f1]+fill[f1]] = int32(e)
 		fill[f1]++
 	}
@@ -83,6 +85,7 @@ func (dualTreeEngine) FindCycleSeparator(cfg *weights.Config, opts Options) (*Re
 	order := make([]int32, 0, nf)
 	visited := make([]bool, nf)
 	visited[cfg.Outer] = true
+	//planarvet:narrowok cfg.Outer indexed visited above, so it is a face index < nf ≤ 2m ≤ MaxInt32
 	order = append(order, int32(cfg.Outer))
 	for head := 0; head < len(order); head++ {
 		f := int(order[head])
@@ -92,6 +95,7 @@ func (dualTreeEngine) FindCycleSeparator(cfg *weights.Config, opts Options) (*Re
 			if !visited[g] {
 				visited[g] = true
 				parentEdge[g] = e32
+				//planarvet:narrowok g is a face index < nf ≤ 2m ≤ MaxInt32
 				order = append(order, int32(g))
 			}
 		}

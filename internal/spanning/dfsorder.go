@@ -37,6 +37,7 @@ func DFSOrdersCSR(t *Tree, off, children []int32) (piL, piR []int) {
 func runCSR(t *Tree, off, children []int32, rev bool, pi []int) {
 	timer := 0
 	stack := make([]int32, 0, t.N())
+	//planarvet:narrowok Root is a vertex id, < n and graph.New bounds n to MaxInt32
 	stack = append(stack, int32(t.Root))
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]

@@ -161,6 +161,7 @@ func (t *Tree) computeIntervals() {
 	timer := int32(0)
 	// Iterative preorder with post-visit hooks.
 	type frame struct{ v, ci int32 }
+	//planarvet:narrowok Root is a vertex id, < n and graph.New bounds n to MaxInt32
 	stack := []frame{{int32(t.Root), 0}}
 	t.tin[t.Root] = timer
 	timer++
