@@ -35,6 +35,15 @@
 // wheel,grid,cylinderish,stacked,polygon -o BENCH_engines.json`
 // regenerates that baseline.
 //
+// With -guard it measures the admission guard (internal/guard): for each
+// (family, size) pair one acceptance row records the guard's CONGEST
+// round/message cost next to the charged paper-model rounds of the
+// Theorem 2 DFS build it fronts (the overhead column), and rejection rows
+// record the latency to a typed witness on adversarial inputs — a
+// retargeted dart, a genus-raising rotation splice, and a planted dense
+// region. `benchjson -guard -o BENCH_guard.json` regenerates that
+// baseline.
+//
 // Usage:
 //
 //	benchjson -o BENCH_congest.json
@@ -115,6 +124,8 @@ func run() error {
 	serveMode := flag.Bool("serve", false, "benchmark the simulation service (cold build vs cached queries) instead of the round engine")
 	enginesMode := flag.Bool("engines", false, "benchmark the separator engine registry (engine x family x size matrix) instead of the round engine")
 	engineSizes := flag.String("engine-sizes", "256,1024", "comma-separated vertex counts for the -engines matrix")
+	guardMode := flag.Bool("guard", false, "benchmark the admission guard (acceptance overhead and rejection latency) instead of the round engine")
+	guardSizes := flag.String("guard-sizes", "64,256", "comma-separated vertex counts for the -guard matrix")
 	scaling := flag.Bool("scaling", false, "append scaling rows: instance construction across -sizes, plus BFS runs up to -scale-bfs-max")
 	sizes := flag.String("sizes", "1000,10000,100000,1000000", "comma-separated vertex counts for -scaling rows")
 	scaleBFSMax := flag.Int("scale-bfs-max", 1000000, "largest -scaling size that also gets a BFS round-engine row")
@@ -131,6 +142,9 @@ func run() error {
 	}
 	if *enginesMode {
 		return runEngines(*out, *families, *engineSizes)
+	}
+	if *guardMode {
+		return runGuard(*out, *families, *guardSizes)
 	}
 
 	file := File{

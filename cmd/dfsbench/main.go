@@ -8,6 +8,11 @@
 //	dfsbench -certify                   # self-check one DFS run end to end
 //	dfsbench -recover -chaos structural=4 -chaos-seed 7
 //	                                    # supervised run under injected faults
+//	dfsbench -guard -experiment e2      # admission-guard every instance first
+//
+// -guard validates every (family, size) instance with the admission guard
+// (internal/guard) before the run and exits nonzero printing the typed
+// witness on rejection.
 //
 // -certify exits nonzero when a verifier rejects; -recover exits nonzero
 // when the supervised runtime exhausts its attempts without a certified
@@ -47,6 +52,7 @@ func run() error {
 	chaosSpec := flag.String("chaos", "", "fault spec for -recover, e.g. structural=4 (see internal/chaos.ParseSpec)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed deriving the deterministic fault plan")
 	recoverRun := flag.Bool("recover", false, "run one supervised DFS (certify, retry with backoff, degrade to Awerbuch); exits nonzero on recovery exhaustion")
+	guardRun := flag.Bool("guard", false, "validate every instance with the admission guard before running; exits nonzero printing the witness on rejection")
 	flag.Parse()
 
 	sizes, err := parseInts(*sizesFlag)
@@ -54,6 +60,12 @@ func run() error {
 		return err
 	}
 	fams := strings.Split(*famFlag, ",")
+
+	if *guardRun {
+		if err := guardAdmit(fams, sizes, *seed); err != nil {
+			return err
+		}
+	}
 
 	if *recoverRun {
 		return recoveryRun(fams[0], sizes[len(sizes)-1], *seed, *chaosSpec, *chaosSeed)
@@ -265,6 +277,32 @@ func printVerdict(v *cert.Verdict) {
 	}
 	fmt.Printf("certify %s: %s labelWords=%d proverRounds=%d verifierRounds=%d aggRounds=%d msgs=%d\n",
 		v.Scheme, status, v.LabelWords, v.ProverRounds, v.VerifierRounds, v.AggRounds, v.Stats.Messages)
+}
+
+// guardAdmit validates every (family, size) instance the run will touch
+// with the admission guard. A rejection prints the typed witness and fails
+// the command before any experiment runs on the bad input.
+func guardAdmit(fams []string, sizes []int, seed int64) error {
+	for _, fam := range fams {
+		for _, n := range sizes {
+			in, err := gen.ByName(fam, n, seed)
+			if err != nil {
+				return err
+			}
+			v, err := planardfs.ValidateEmbedding(in, planardfs.GuardOptions{Seed: seed})
+			if err != nil {
+				return err
+			}
+			if !v.OK {
+				fmt.Fprintf(os.Stderr, "guard: REJECT %s n=%d reason=%s detail=%q\n",
+					in.Name, in.G.N(), v.Witness.Reason, v.Witness.Detail)
+				return fmt.Errorf("input rejected by the admission guard: %w", v.Err())
+			}
+			fmt.Printf("guard: accept %s n=%d rounds=%d msgs=%d\n",
+				in.Name, in.G.N(), v.Rounds, v.Messages)
+		}
+	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

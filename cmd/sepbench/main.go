@@ -11,6 +11,11 @@
 //	sepbench -engine list               # print the registered engines
 //	sepbench -recover -chaos structural=4 -chaos-seed 7
 //	                                    # supervised separator under faults
+//	sepbench -guard -experiment e1      # admission-guard every instance first
+//
+// -guard validates every (family, size) instance with the admission guard
+// (internal/guard) before the run and exits nonzero printing the typed
+// witness on rejection.
 //
 // -engine selects the separator backend for -certify from the
 // internal/sepengine registry; "-engine list" prints the registered
@@ -61,6 +66,7 @@ func run() error {
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed deriving the deterministic fault plan")
 	recoverRun := flag.Bool("recover", false, "run one supervised separator construction (certify, retry with backoff, fall back fault-free); exits nonzero on recovery exhaustion")
 	engine := flag.String("engine", "", "separator engine for -certify (default: the Theorem 1 engine); \"list\" prints the registered engines")
+	guardRun := flag.Bool("guard", false, "validate every instance with the admission guard before running; exits nonzero printing the witness on rejection")
 	flag.Parse()
 
 	if *engine == "list" {
@@ -75,6 +81,12 @@ func run() error {
 		return err
 	}
 	fams := strings.Split(*famFlag, ",")
+
+	if *guardRun {
+		if err := guardAdmit(fams, sizes, *seed); err != nil {
+			return err
+		}
+	}
 
 	if *recoverRun {
 		return recoveryRun(fams[0], sizes[len(sizes)-1], *seed, *chaosSpec, *chaosSeed)
@@ -357,6 +369,32 @@ func printVerdict(v *cert.Verdict) {
 	}
 	fmt.Printf("certify %s: %s labelWords=%d proverRounds=%d verifierRounds=%d aggRounds=%d msgs=%d\n",
 		v.Scheme, status, v.LabelWords, v.ProverRounds, v.VerifierRounds, v.AggRounds, v.Stats.Messages)
+}
+
+// guardAdmit validates every (family, size) instance the run will touch
+// with the admission guard. A rejection prints the typed witness and fails
+// the command before any experiment runs on the bad input.
+func guardAdmit(fams []string, sizes []int, seed int64) error {
+	for _, fam := range fams {
+		for _, n := range sizes {
+			in, err := gen.ByName(fam, n, seed)
+			if err != nil {
+				return err
+			}
+			v, err := planardfs.ValidateEmbedding(in, planardfs.GuardOptions{Seed: seed})
+			if err != nil {
+				return err
+			}
+			if !v.OK {
+				fmt.Fprintf(os.Stderr, "guard: REJECT %s n=%d reason=%s detail=%q\n",
+					in.Name, in.G.N(), v.Witness.Reason, v.Witness.Detail)
+				return fmt.Errorf("input rejected by the admission guard: %w", v.Err())
+			}
+			fmt.Printf("guard: accept %s n=%d rounds=%d msgs=%d\n",
+				in.Name, in.G.N(), v.Rounds, v.Messages)
+		}
+	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

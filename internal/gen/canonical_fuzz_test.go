@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedInstances returns a deterministic spread of family instances whose
+// encodings seed the fuzz corpus and anchor the round-trip tests.
+func seedInstances(tb testing.TB) []*Instance {
+	tb.Helper()
+	var out []*Instance
+	for _, fam := range []string{"grid", "wheel", "polygon", "tree", "path", "stacked"} {
+		for _, n := range []int{1, 2, 5, 12} {
+			in, err := ByName(fam, n, 7)
+			if err != nil {
+				continue // family rejects this n: not a corpus gap
+			}
+			out = append(out, in)
+		}
+	}
+	if len(out) == 0 {
+		tb.Fatal("no seed instances generated")
+	}
+	return out
+}
+
+// TestDecodeCanonicalRoundTrip pins the inverse property on valid input:
+// decode(encode(in)) re-encodes byte-identically and preserves the graph.
+func TestDecodeCanonicalRoundTrip(t *testing.T) {
+	for _, in := range seedInstances(t) {
+		enc := CanonicalBytes(in)
+		dec, err := DecodeCanonical(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", in.Name, err)
+		}
+		if dec.G.N() != in.G.N() || dec.G.M() != in.G.M() || dec.OuterDart != in.OuterDart {
+			t.Fatalf("%s: decoded shape n=%d m=%d outer=%d, want n=%d m=%d outer=%d",
+				in.Name, dec.G.N(), dec.G.M(), dec.OuterDart, in.G.N(), in.G.M(), in.OuterDart)
+		}
+		re := CanonicalBytes(dec)
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("%s: re-encoding differs from original (%d vs %d bytes)", in.Name, len(re), len(enc))
+		}
+	}
+}
+
+// TestDecodeCanonicalRejects pins the error (never panic) behaviour on a
+// table of hostile buffers, including the allocation-bomb shapes the
+// decoder is hardened against.
+func TestDecodeCanonicalRejects(t *testing.T) {
+	valid := CanonicalBytes(seedInstances(t)[0])
+	cases := map[string][]byte{
+		"empty":           nil,
+		"short magic":     []byte("planardfs"),
+		"wrong magic":     []byte("planardfs/graph/v2\n\x01\x00\x00"),
+		"magic only":      []byte(canonicalMagic),
+		"truncated":       valid[:len(valid)-1],
+		"trailing bytes":  append(append([]byte(nil), valid...), 0),
+		"huge n":          append([]byte(canonicalMagic), 0xff, 0xff, 0xff, 0xff, 0x7f),
+		"alloc bomb":      append([]byte(canonicalMagic), 0xe8, 0x07, 0xe8, 0x07), // n=1000, m=1000 in 0 further bytes
+		"overlong varint": append([]byte(canonicalMagic), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01),
+	}
+	for name, data := range cases {
+		if _, err := DecodeCanonical(data); err == nil {
+			t.Errorf("%s: decode accepted a malformed buffer", name)
+		}
+	}
+}
+
+// FuzzDecodeCanonical is the decoder's no-panic/round-trip harness: for
+// arbitrary bytes the decoder must either reject with an error or accept
+// with an instance whose re-encoding reproduces the input byte-for-byte.
+// CI runs a -fuzztime 30s smoke of this on every push.
+func FuzzDecodeCanonical(f *testing.F) {
+	for _, in := range seedInstances(f) {
+		f.Add(CanonicalBytes(in))
+	}
+	f.Add([]byte(canonicalMagic))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := DecodeCanonical(data)
+		if err != nil {
+			if in != nil {
+				t.Fatal("non-nil instance alongside an error")
+			}
+			return
+		}
+		re := CanonicalBytes(in)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input does not round-trip: %d in, %d out", len(data), len(re))
+		}
+	})
+}

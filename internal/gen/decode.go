@@ -1,0 +1,131 @@
+package gen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"planardfs/internal/graph"
+	"planardfs/internal/planar"
+)
+
+// DecodeCanonical parses the CanonicalBytes encoding back into an
+// instance. It is the inverse of the encoder on valid input and a total
+// function on arbitrary bytes: any malformed, truncated, or mutated
+// buffer returns an error — never a panic and never an unbounded
+// allocation. The decoder is deliberately hardened against allocation
+// bombs: the claimed vertex and edge counts are bounded by the bytes
+// actually present (every vertex costs at least one byte of rotation
+// length, every edge at least two bytes of endpoints) and by the planar
+// edge bound m <= 3n-6, so a short hostile buffer cannot demand a huge
+// graph. Structural validity (simple edges, rotations that permute the
+// neighbour sets, outer dart in range, no trailing bytes) is enforced;
+// semantic planarity of the rotation system is not — that is the guard's
+// job (internal/guard), matching the Wire decode path.
+//
+// The round-trip contract the fuzz harness pins: whenever DecodeCanonical
+// accepts, CanonicalBytes of the result reproduces the input buffer
+// byte-for-byte (the instance Name is not part of the encoding).
+func DecodeCanonical(data []byte) (*Instance, error) {
+	if len(data) < len(canonicalMagic) || string(data[:len(canonicalMagic)]) != canonicalMagic {
+		return nil, fmt.Errorf("gen: canonical: bad magic")
+	}
+	rest := data[len(canonicalMagic):]
+	off := 0
+	var scratch [binary.MaxVarintLen64]byte
+	next := func(what string) (int, error) {
+		v, k := binary.Uvarint(rest[off:])
+		if k <= 0 {
+			return 0, fmt.Errorf("gen: canonical: truncated or overlong %s at byte %d", what, off)
+		}
+		// Reject non-minimal varints: the round-trip contract demands the
+		// re-encoding reproduce the input byte-for-byte.
+		if binary.PutUvarint(scratch[:], v) != k {
+			return 0, fmt.Errorf("gen: canonical: non-minimal varint %s at byte %d", what, off)
+		}
+		if v > math.MaxInt32 {
+			return 0, fmt.Errorf("gen: canonical: %s %d exceeds the int32 substrate", what, v)
+		}
+		off += k
+		return int(v), nil
+	}
+
+	n, err := next("vertex count")
+	if err != nil {
+		return nil, err
+	}
+	m, err := next("edge count")
+	if err != nil {
+		return nil, err
+	}
+	// Allocation bounds: the remaining bytes must plausibly hold the
+	// claimed structure before anything is allocated for it.
+	if n > len(rest)-off {
+		return nil, fmt.Errorf("gen: canonical: vertex count %d exceeds the %d remaining bytes", n, len(rest)-off)
+	}
+	if 2*m > len(rest)-off {
+		return nil, fmt.Errorf("gen: canonical: edge count %d exceeds the %d remaining bytes", m, len(rest)-off)
+	}
+	switch {
+	case n >= 3 && m > 3*n-6:
+		return nil, fmt.Errorf("gen: canonical: %d edges on %d vertices exceeds the planar bound %d", m, n, 3*n-6)
+	case n < 3 && m > 1:
+		return nil, fmt.Errorf("gen: canonical: %d edges on %d vertices exceeds the planar bound 1", m, n)
+	}
+
+	g := graph.New(n)
+	for e := 0; e < m; e++ {
+		u, err := next("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		v, err := next("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		// The encoder emits normalized endpoints (u < v, the graph
+		// substrate's storage order); anything else cannot round-trip.
+		if u >= v {
+			return nil, fmt.Errorf("gen: canonical: edge %d {%d,%d} is not in canonical orientation", e, u, v)
+		}
+		if _, err := g.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("gen: canonical: edge %d: %w", e, err)
+		}
+	}
+	rot := make([][]int, n)
+	for v := 0; v < n; v++ {
+		deg, err := next("rotation length")
+		if err != nil {
+			return nil, err
+		}
+		if deg != g.Degree(v) {
+			return nil, fmt.Errorf("gen: canonical: vertex %d claims rotation length %d, degree is %d", v, deg, g.Degree(v))
+		}
+		rot[v] = make([]int, deg)
+		for i := range rot[v] {
+			w, err := next("rotation entry")
+			if err != nil {
+				return nil, err
+			}
+			rot[v][i] = w
+		}
+	}
+	outer, err := next("outer dart")
+	if err != nil {
+		return nil, err
+	}
+	if off != len(rest) {
+		return nil, fmt.Errorf("gen: canonical: %d trailing bytes", len(rest)-off)
+	}
+	if m > 0 && outer >= 2*m {
+		return nil, fmt.Errorf("gen: canonical: outer dart %d out of range [0,%d)", outer, 2*m)
+	}
+	if m == 0 && outer != 0 {
+		return nil, fmt.Errorf("gen: canonical: outer dart %d nonzero on an edgeless graph", outer)
+	}
+	emb, err := planar.FromNeighborOrders(g, rot)
+	if err != nil {
+		return nil, fmt.Errorf("gen: canonical: %w", err)
+	}
+	return &Instance{G: g, Emb: emb, OuterDart: outer}, nil
+}

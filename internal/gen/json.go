@@ -8,8 +8,14 @@ import (
 	"planardfs/internal/planar"
 )
 
-// instanceJSON is the on-disk format of an embedded planar graph.
-type instanceJSON struct {
+// Wire is the on-disk/on-the-wire format of an embedded planar graph —
+// the untrusted shape a submission arrives in. Decoding, field-level
+// checking, and building the in-memory Instance are deliberately separate
+// steps (DecodeWire, Check, Build) so an HTTP admission path can reject a
+// malformed body with a field-level error before any graph structure is
+// allocated, and so the semantic guard can rule on a structurally
+// well-formed wire without the decoder silently pre-judging planarity.
+type Wire struct {
 	Name string `json:"name"`
 	N    int    `json:"n"`
 	// Edges lists vertex pairs; edge IDs are list positions.
@@ -19,9 +25,138 @@ type instanceJSON struct {
 	OuterDart int     `json:"outerDart"`
 }
 
-// EncodeJSON serializes an instance (graph, embedding, outer face).
-func EncodeJSON(in *Instance) ([]byte, error) {
-	ij := instanceJSON{
+// FieldError locates a malformed field of a wire instance. Index is the
+// offending list position (-1 when the whole field is at fault).
+type FieldError struct {
+	Field string
+	Index int
+	Msg   string
+}
+
+// Error implements error.
+func (e *FieldError) Error() string {
+	if e.Index >= 0 {
+		return fmt.Sprintf("gen: field %s[%d]: %s", e.Field, e.Index, e.Msg)
+	}
+	return fmt.Sprintf("gen: field %s: %s", e.Field, e.Msg)
+}
+
+func fieldErr(field string, index int, format string, args ...any) *FieldError {
+	return &FieldError{Field: field, Index: index, Msg: fmt.Sprintf(format, args...)}
+}
+
+// DecodeWire parses the JSON form without validating anything beyond JSON
+// syntax.
+func DecodeWire(data []byte) (*Wire, error) {
+	var w Wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("gen: decode: %w", err)
+	}
+	return &w, nil
+}
+
+// Check applies the structural admission checks a wire instance must pass
+// before any graph is built: vertex count bounds, edge endpoints in range,
+// no self-loops or duplicate edges, the planar edge-count bound m <= 3n-6,
+// per-vertex rotation well-formedness (a permutation of the neighbour set
+// implied by the edge list), and the outer dart range. Every violation is
+// reported as a *FieldError naming the field and index. Check does NOT
+// judge whether the rotation system is a genus-0 embedding — that is the
+// semantic guard's job (internal/guard), not the decoder's.
+func (w *Wire) Check() error {
+	if w.N < 1 {
+		return fieldErr("n", -1, "need at least 1 vertex, got %d", w.N)
+	}
+	m := len(w.Edges)
+	if w.N >= 3 && m > 3*w.N-6 {
+		return fieldErr("edges", -1, "%d edges on %d vertices exceeds the planar bound %d", m, w.N, 3*w.N-6)
+	}
+	if w.N < 3 && m > 1 {
+		return fieldErr("edges", -1, "%d edges on %d vertices exceeds the planar bound 1", m, w.N)
+	}
+	seen := make(map[[2]int]bool, m)
+	adj := make([]map[int]bool, w.N)
+	for i, e := range w.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= w.N || v < 0 || v >= w.N {
+			return fieldErr("edges", i, "endpoint out of range [0,%d): {%d,%d}", w.N, u, v)
+		}
+		if u == v {
+			return fieldErr("edges", i, "self-loop at %d", u)
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return fieldErr("edges", i, "duplicate edge {%d,%d}", u, v)
+		}
+		seen[[2]int{a, b}] = true
+		if adj[u] == nil {
+			adj[u] = make(map[int]bool, 4)
+		}
+		if adj[v] == nil {
+			adj[v] = make(map[int]bool, 4)
+		}
+		adj[u][v] = true
+		adj[v][u] = true
+	}
+	if len(w.Rotations) != w.N {
+		return fieldErr("rotations", -1, "%d rows for %d vertices", len(w.Rotations), w.N)
+	}
+	for v, rot := range w.Rotations {
+		deg := len(adj[v])
+		if len(rot) != deg {
+			return fieldErr("rotations", v, "%d entries for degree %d", len(rot), deg)
+		}
+		dup := make(map[int]bool, deg)
+		for _, x := range rot {
+			if x < 0 || x >= w.N || !adj[v][x] {
+				return fieldErr("rotations", v, "entry %d is not a neighbour of %d", x, v)
+			}
+			if dup[x] {
+				return fieldErr("rotations", v, "neighbour %d listed twice", x)
+			}
+			dup[x] = true
+		}
+	}
+	if m > 0 && (w.OuterDart < 0 || w.OuterDart >= 2*m) {
+		return fieldErr("outerDart", -1, "%d out of range [0,%d)", w.OuterDart, 2*m)
+	}
+	if m == 0 && w.OuterDart != 0 {
+		return fieldErr("outerDart", -1, "%d nonzero on an edgeless graph", w.OuterDart)
+	}
+	return nil
+}
+
+// Build constructs the in-memory instance from a wire that passed Check.
+// It validates only what the constructors enforce (edge sanity, rotation
+// permutations) — NOT the genus: a structurally well-formed rotation
+// system of any genus builds, so the semantic guard can rule on it.
+func (w *Wire) Build() (*Instance, error) {
+	if w.N < 0 {
+		return nil, fieldErr("n", -1, "negative vertex count %d", w.N)
+	}
+	g := graph.New(w.N)
+	for i, e := range w.Edges {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("gen: edge %d: %w", i, err)
+		}
+	}
+	emb, err := planar.FromNeighborOrders(g, w.Rotations)
+	if err != nil {
+		return nil, err
+	}
+	if g.M() > 0 && (w.OuterDart < 0 || w.OuterDart >= 2*g.M()) {
+		return nil, fmt.Errorf("gen: outer dart %d out of range", w.OuterDart)
+	}
+	return &Instance{Name: w.Name, G: g, Emb: emb, OuterDart: w.OuterDart}, nil
+}
+
+// WireOf returns the wire form of an instance — the shape the corruption
+// primitives mutate and the encoders serialize.
+func WireOf(in *Instance) *Wire {
+	w := &Wire{
 		Name:      in.Name,
 		N:         in.G.N(),
 		Edges:     make([][2]int, in.G.M()),
@@ -30,35 +165,34 @@ func EncodeJSON(in *Instance) ([]byte, error) {
 	}
 	for e := 0; e < in.G.M(); e++ {
 		ed := in.G.EdgeByID(e)
-		ij.Edges[e] = [2]int{ed.U, ed.V}
+		w.Edges[e] = [2]int{ed.U, ed.V}
 	}
 	for v := 0; v < in.G.N(); v++ {
-		ij.Rotations[v] = in.Emb.NeighborOrder(v)
+		w.Rotations[v] = in.Emb.NeighborOrder(v)
 	}
-	return json.MarshalIndent(ij, "", " ")
+	return w
 }
 
-// DecodeJSON parses an instance and validates the embedding.
+// EncodeJSON serializes an instance (graph, embedding, outer face).
+func EncodeJSON(in *Instance) ([]byte, error) {
+	return json.MarshalIndent(WireOf(in), "", " ")
+}
+
+// DecodeJSON parses an instance and validates the embedding, including
+// the genus (the trusted-path decoder: generator fixtures and caches).
+// Untrusted submissions should go through DecodeWire/Check/Build and the
+// guard instead, which reject with typed field/witness errors.
 func DecodeJSON(data []byte) (*Instance, error) {
-	var ij instanceJSON
-	if err := json.Unmarshal(data, &ij); err != nil {
-		return nil, fmt.Errorf("gen: decode: %w", err)
-	}
-	g := graph.New(ij.N)
-	for i, e := range ij.Edges {
-		if _, err := g.AddEdge(e[0], e[1]); err != nil {
-			return nil, fmt.Errorf("gen: edge %d: %w", i, err)
-		}
-	}
-	emb, err := planar.FromNeighborOrders(g, ij.Rotations)
+	w, err := DecodeWire(data)
 	if err != nil {
 		return nil, err
 	}
-	if err := emb.Validate(); err != nil {
+	in, err := w.Build()
+	if err != nil {
 		return nil, err
 	}
-	if g.M() > 0 && (ij.OuterDart < 0 || ij.OuterDart >= 2*g.M()) {
-		return nil, fmt.Errorf("gen: outer dart %d out of range", ij.OuterDart)
+	if err := in.Emb.Validate(); err != nil {
+		return nil, err
 	}
-	return &Instance{Name: ij.Name, G: g, Emb: emb, OuterDart: ij.OuterDart}, nil
+	return in, nil
 }

@@ -1,0 +1,243 @@
+// Package guard is the input-validation subsystem that runs before the
+// Theorem 2 pipeline: it rejects non-planar and corrupted-embedding inputs
+// with typed, certifiable verdicts instead of letting them produce garbage
+// output downstream.
+//
+// A validation run is a sequence of stages, each either a centralized
+// precheck or a genuine CONGEST node program executed on the simulator
+// (word-bounded payloads, measured rounds and messages):
+//
+//  1. shape / connectivity — centralized admission prechecks.
+//  2. rotation consistency — a distributed embedding-consistency checker:
+//     every vertex verifies its claimed clockwise rotation locally (a
+//     permutation of its neighbours) and exchanges one word-bounded
+//     message per incident edge so both endpoints agree the link exists
+//     and each lists the other at a valid rotation position (dart
+//     involution and retarget detection). The program is event-driven.
+//  3. planarity testing — a CONGEST property tester in the
+//     Levi–Medina–Ron style with one-sided error: planar inputs are
+//     always accepted; non-planar inputs are rejected when a concrete
+//     witness is found — a global edge-count violation m > 3n-6
+//     (aggregated distributively) or a dense sampled ball violating the
+//     planar density bound. A deterministic centralized oracle
+//     (OracleTest) recomputes the same decisions for cross-checking.
+//  4. Euler count — the internal/cert embedding scheme run as a
+//     first-class guard stage: the aggregated Euler characteristic of the
+//     claimed rotation system must be exactly 2 (genus 0).
+//
+// Verdicts are typed: a rejection carries a Witness naming the Reason and
+// the concrete evidence (the offending vertex, the dense ball, the edge
+// count), and converts to a RejectionError matching errors.Is(err,
+// ErrRejected). One-sided error is a hard contract: a connected, correctly
+// embedded planar instance is never rejected by any stage.
+package guard
+
+import (
+	"errors"
+	"fmt"
+
+	"planardfs/internal/congest"
+	"planardfs/internal/graph"
+	"planardfs/internal/trace"
+)
+
+// Reason classifies a rejection. The values are stable strings (they are
+// serialized into HTTP error payloads and corpus fixtures).
+type Reason string
+
+// The rejection taxonomy, ordered by the stage that detects it.
+const (
+	// ReasonShape: the input is structurally unusable (no vertices, or a
+	// rotation table of the wrong shape).
+	ReasonShape Reason = "shape"
+	// ReasonDisconnected: the graph is not connected; every downstream
+	// stage (BFS aggregation, Euler formula) assumes connectivity.
+	ReasonDisconnected Reason = "disconnected"
+	// ReasonRotation: a vertex's claimed rotation is not a permutation of
+	// its neighbours (duplicate entry, non-neighbour entry, missing
+	// neighbour, wrong length) — the local half of embedding consistency.
+	ReasonRotation Reason = "rotation"
+	// ReasonEndpoint: the endpoints of an edge disagree about the link —
+	// the sender's identity or claimed rotation position fails the
+	// receiver's check in the distributed exchange.
+	ReasonEndpoint Reason = "endpoint-mismatch"
+	// ReasonEdgeCount: the distributed degree sum shows m > 3n-6, which no
+	// planar simple graph attains.
+	ReasonEdgeCount Reason = "edge-count"
+	// ReasonDenseRegion: a sampled ball induces a subgraph denser than the
+	// planar bound — the K5/K3,3-ish local witness of the property tester.
+	ReasonDenseRegion Reason = "dense-region"
+	// ReasonEuler: the aggregated Euler characteristic of the claimed
+	// rotation system is not 2 (genus > 0): the rotations are a valid
+	// permutation system but not a planar embedding.
+	ReasonEuler Reason = "euler"
+)
+
+// Witness is the concrete evidence attached to a rejection.
+type Witness struct {
+	Reason Reason `json:"reason"`
+	// Detail is the human-readable account of the evidence.
+	Detail string `json:"detail"`
+	// Vertex anchors local violations (rotation, endpoint); -1 otherwise.
+	Vertex int `json:"vertex,omitempty"`
+	// Rejectors counts the rejecting verifier nodes of a distributed stage.
+	Rejectors int `json:"rejectors,omitempty"`
+	// N, M and Bound carry the numbers of a density/edge-count violation:
+	// the (sub)graph has N vertices and M edges against the planar bound.
+	N     int `json:"n,omitempty"`
+	M     int `json:"m,omitempty"`
+	Bound int `json:"bound,omitempty"`
+	// Center and Radius identify the dense ball of a ReasonDenseRegion
+	// witness.
+	Center int `json:"center,omitempty"`
+	Radius int `json:"radius,omitempty"`
+	// EulerSum is the aggregated 2V-2E+2F total of a ReasonEuler witness
+	// (4 on acceptance).
+	EulerSum int `json:"eulerSum,omitempty"`
+}
+
+// ErrRejected is the sentinel every guard rejection matches:
+// errors.Is(err, ErrRejected) distinguishes "the input is bad" from
+// infrastructure failures.
+var ErrRejected = errors.New("guard: input rejected")
+
+// RejectionError is the typed error form of a rejection verdict.
+type RejectionError struct {
+	Witness Witness
+}
+
+// Error implements error.
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("guard: input rejected (%s): %s", e.Witness.Reason, e.Witness.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrRejected) hold for every rejection.
+func (e *RejectionError) Unwrap() error { return ErrRejected }
+
+// CheckResult records one validation stage of a verdict.
+type CheckResult struct {
+	// Name identifies the stage: "shape", "connectivity", "rotation",
+	// "edge-count", "density", "euler".
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	// Rounds and Messages are the measured CONGEST cost of the stage
+	// (zero for centralized prechecks).
+	Rounds   int   `json:"rounds"`
+	Messages int64 `json:"messages"`
+}
+
+// Verdict is the outcome of a validation run. Stages run in order and stop
+// at the first rejection, so Checks lists every stage that ran; the last
+// entry of a rejecting verdict is the one that failed.
+type Verdict struct {
+	OK      bool          `json:"ok"`
+	Witness *Witness      `json:"witness,omitempty"`
+	Checks  []CheckResult `json:"checks"`
+	// Rounds and Messages total the measured CONGEST cost across all
+	// distributed stages (the guard overhead the bench mode reports).
+	Rounds   int   `json:"rounds"`
+	Messages int64 `json:"messages"`
+
+	// testerErr parks an infrastructure error raised inside a tester stage
+	// so the orchestrator can surface it after the stage helper returns.
+	testerErr error
+}
+
+// Err returns nil for an accepting verdict and the typed RejectionError
+// otherwise.
+func (v *Verdict) Err() error {
+	if v.OK {
+		return nil
+	}
+	w := Witness{Reason: ReasonShape, Detail: "rejected without witness"}
+	if v.Witness != nil {
+		w = *v.Witness
+	}
+	return &RejectionError{Witness: w}
+}
+
+// reject closes the current check as failed and stamps the witness.
+func (v *Verdict) reject(w Witness) *Verdict {
+	v.OK = false
+	v.Witness = &w
+	return v
+}
+
+// addCheck appends a stage record and folds its cost into the totals.
+func (v *Verdict) addCheck(name string, ok bool, rounds int, messages int64) {
+	v.Checks = append(v.Checks, CheckResult{Name: name, OK: ok, Rounds: rounds, Messages: messages})
+	v.Rounds += rounds
+	v.Messages += messages
+}
+
+// Options configure a validation run. The zero value runs the parallel
+// engine with the default tester budget (16 seeded centers, radius-1
+// balls) untraced.
+type Options struct {
+	// Sequential selects the sequential round engine; verdicts are
+	// bit-identical either way.
+	Sequential bool
+	// Workers overrides the sharded engine's worker count; 0 means one per
+	// CPU.
+	Workers int
+	// StepAll forces the classic schedule even for event-driven programs;
+	// the engine-equivalence tests run the guard under both.
+	StepAll bool
+	// Tracer records guard spans and the underlying network rounds; nil
+	// disables tracing.
+	Tracer trace.Tracer
+
+	// Seed derives the tester's ball centers. The same seed always samples
+	// the same centers, so verdicts are reproducible.
+	Seed int64
+	// Centers is the number of sampled ball centers per run; 0 means
+	// min(n, 16). Ignored when Exhaustive is set.
+	Centers int
+	// Radius is the ball radius of the density tester; 0 means 1, values
+	// above 8 are clamped.
+	Radius int
+	// Exhaustive sweeps every vertex as a ball center instead of sampling
+	// — the deterministic mode the corpus gate and fixtures rely on.
+	Exhaustive bool
+}
+
+// network builds a CONGEST network configured per the options with at
+// least maxWords words of bandwidth.
+func (o Options) network(g *graph.Graph, maxWords int) *congest.Network {
+	nw := congest.New(g)
+	if maxWords > nw.MaxWords {
+		nw.MaxWords = maxWords
+	}
+	nw.Parallel = !o.Sequential
+	nw.Workers = o.Workers
+	nw.Tracer = o.Tracer
+	nw.StepAll = o.StepAll
+	return nw
+}
+
+// radius returns the effective ball radius.
+func (o Options) radius() int {
+	r := o.Radius
+	if r <= 0 {
+		r = 1
+	}
+	if r > 8 {
+		r = 8
+	}
+	return r
+}
+
+// centers returns the effective center count for an n-vertex graph.
+func (o Options) centers(n int) int {
+	if o.Exhaustive {
+		return n
+	}
+	c := o.Centers
+	if c <= 0 {
+		c = 16
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}

@@ -1,0 +1,343 @@
+package guard
+
+import (
+	"errors"
+	"testing"
+
+	"planardfs/internal/chaos"
+	"planardfs/internal/gen"
+	"planardfs/internal/graph"
+	"planardfs/internal/planar"
+)
+
+// sweepSizes is the small-n sweep of the acceptance property tests.
+var sweepSizes = []int{4, 10, 17}
+
+// engines enumerates the engine configurations every verdict must agree
+// across: sequential, sharded-parallel, and the classic schedule forced
+// on event-driven programs.
+var engines = []struct {
+	name string
+	opt  func(Options) Options
+}{
+	{"sequential", func(o Options) Options { o.Sequential = true; return o }},
+	{"parallel", func(o Options) Options { return o }},
+	{"stepall", func(o Options) Options { o.StepAll = true; return o }},
+}
+
+// TestGuardAcceptsFamilies pins the one-sided-error contract: every
+// generator family instance is accepted by the full validation under every
+// engine, and the centralized oracle agrees.
+func TestGuardAcceptsFamilies(t *testing.T) {
+	for _, fam := range gen.Families {
+		for _, n := range sweepSizes {
+			in, err := gen.ByName(fam, n, 3)
+			if err != nil || in.G.M() == 0 {
+				continue
+			}
+			for _, eng := range engines {
+				opt := eng.opt(Options{Seed: 11, Exhaustive: true})
+				v, err := ValidateInstance(in, opt)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", in.Name, eng.name, err)
+				}
+				if !v.OK {
+					t.Fatalf("%s/%s: planar instance rejected: %+v", in.Name, eng.name, v.Witness)
+				}
+				if v.Err() != nil {
+					t.Fatalf("%s/%s: accepting verdict has error", in.Name, eng.name)
+				}
+			}
+			if w := OracleTest(in.G, Options{Seed: 11, Exhaustive: true}); w != nil {
+				t.Fatalf("%s: oracle rejected a planar instance: %+v", in.Name, w)
+			}
+		}
+	}
+}
+
+// corruptRotations returns the wire rotations of in corrupted by the
+// given primitive, or nil when the primitive found nothing to corrupt.
+func corruptRotations(in *gen.Instance, seed int64, apply func(*chaos.Plan, [][]int) int) [][]int {
+	w := gen.WireOf(in)
+	p := chaos.NewPlan(seed, chaos.Spec{Structural: 4})
+	if apply(p, w.Rotations) == 0 {
+		return nil
+	}
+	return w.Rotations
+}
+
+// TestGuardRejectsRetargetedDarts pins that dart retargeting is rejected
+// with a rotation or endpoint witness under every engine.
+func TestGuardRejectsRetargetedDarts(t *testing.T) {
+	for _, fam := range []string{"grid", "wheel", "polygon", "stacked", "tree"} {
+		in, err := gen.ByName(fam, 12, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		rot := corruptRotations(in, 41, func(p *chaos.Plan, r [][]int) int {
+			return p.RetargetDarts(1, in.G.N(), r)
+		})
+		if rot == nil {
+			t.Fatalf("%s: retarget applied nothing", fam)
+		}
+		for _, eng := range engines {
+			v, err := ValidateRotations(in.G, rot, eng.opt(Options{Seed: 11, Exhaustive: true}))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fam, eng.name, err)
+			}
+			if v.OK {
+				t.Fatalf("%s/%s: retargeted rotation accepted", fam, eng.name)
+			}
+			if r := v.Witness.Reason; r != ReasonRotation && r != ReasonEndpoint {
+				t.Fatalf("%s/%s: reason %q, want rotation or endpoint-mismatch", fam, eng.name, r)
+			}
+			var re *RejectionError
+			if err := v.Err(); !errors.Is(err, ErrRejected) || !errors.As(err, &re) {
+				t.Fatalf("%s/%s: rejection error does not match ErrRejected", fam, eng.name)
+			}
+		}
+	}
+}
+
+// TestGuardGenusOracle pins the Euler stage against the centralized genus:
+// permutation-preserving rotation corruptions (splice swaps, face
+// splices) are rejected exactly when they change the genus.
+func TestGuardGenusOracle(t *testing.T) {
+	prims := []struct {
+		name  string
+		apply func(*chaos.Plan, [][]int) int
+	}{
+		{"splice-rotations", func(p *chaos.Plan, r [][]int) int { return p.SpliceRotations(1, r) }},
+		{"splice-faces", func(p *chaos.Plan, r [][]int) int { return p.SpliceFaces(1, r) }},
+	}
+	rejected := 0
+	for _, fam := range []string{"grid", "wheel", "polygon", "stacked", "cylinderish", "tree"} {
+		in, err := gen.ByName(fam, 14, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		for _, pr := range prims {
+			for seed := int64(1); seed <= 3; seed++ {
+				rot := corruptRotations(in, seed, pr.apply)
+				if rot == nil {
+					continue
+				}
+				emb, err := planar.FromNeighborOrders(in.G, rot)
+				if err != nil {
+					t.Fatalf("%s/%s: corrupted rotation is not a permutation: %v", fam, pr.name, err)
+				}
+				wantReject := emb.Genus() != 0
+				v, err := ValidateRotations(in.G, rot, Options{Seed: 11, Exhaustive: true})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", fam, pr.name, err)
+				}
+				if v.OK == wantReject {
+					t.Fatalf("%s/%s seed %d: guard OK=%v, centralized genus %d", fam, pr.name, seed, v.OK, emb.Genus())
+				}
+				if wantReject {
+					rejected++
+					if v.Witness.Reason != ReasonEuler {
+						t.Fatalf("%s/%s: reason %q, want euler", fam, pr.name, v.Witness.Reason)
+					}
+					if v.Witness.EulerSum == 4 {
+						t.Fatalf("%s/%s: euler witness carries accepting sum", fam, pr.name)
+					}
+				}
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no corruption changed the genus: the sweep exercised nothing")
+	}
+}
+
+// TestGuardRejectsInjectedEdges pins the tester stages on graphs with
+// injected non-planar edges: a triangulation plus any edge trips the
+// edge-count bound, and the stale rotation table trips the rotation stage.
+func TestGuardRejectsInjectedEdges(t *testing.T) {
+	in, err := gen.ByName("stacked", 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gen.WireOf(in)
+	if len(w.Edges) != 3*w.N-6 {
+		t.Fatalf("stacked-%d is not a triangulation: m=%d", w.N, len(w.Edges))
+	}
+	p := chaos.NewPlan(5, chaos.Spec{Structural: 2})
+	edges, added := p.InjectEdges(1, w.N, w.Edges)
+	if added == 0 {
+		t.Fatal("injection applied nothing")
+	}
+	g := graph.New(w.N)
+	for _, e := range edges {
+		if _, err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := ValidateGraph(g, Options{Seed: 11, Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK || v.Witness.Reason != ReasonEdgeCount {
+		t.Fatalf("injected triangulation: verdict OK=%v reason=%v, want edge-count rejection", v.OK, v.Witness)
+	}
+	// The old rotation table no longer covers the new incidences.
+	rv, err := ValidateRotations(g, w.Rotations, Options{Seed: 11, Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.OK || (rv.Witness.Reason != ReasonRotation && rv.Witness.Reason != ReasonEndpoint) {
+		t.Fatalf("stale rotations on injected graph: verdict OK=%v reason=%v", rv.OK, rv.Witness)
+	}
+}
+
+// denseTestGraph plants a clique on the first k vertices of a path of
+// length n: non-planar for k >= 5, with a radius-1 dense-region witness
+// for k >= 6 while the global edge count stays under the planar bound.
+func denseTestGraph(t *testing.T, n, k int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		if _, err := g.AddEdge(v, v+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := 0; u < k; u++ {
+		for v := u + 2; v < k; v++ {
+			if _, err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// TestGuardDenseRegion pins the ball tester: a K7 planted on a long path
+// keeps m <= 3n-6 globally but violates the density bound inside a
+// radius-1 ball, so only the dense-region stage can catch it.
+func TestGuardDenseRegion(t *testing.T) {
+	g := denseTestGraph(t, 64, 7)
+	if g.M() > 3*g.N()-6 {
+		t.Fatalf("plant is globally dense: m=%d, the edge-count stage would mask the ball test", g.M())
+	}
+	for _, eng := range engines {
+		v, err := ValidateGraph(g, eng.opt(Options{Seed: 11, Exhaustive: true}))
+		if err != nil {
+			t.Fatalf("%s: %v", eng.name, err)
+		}
+		if v.OK || v.Witness.Reason != ReasonDenseRegion {
+			t.Fatalf("%s: K7 plant verdict OK=%v reason=%v, want dense-region", eng.name, v.OK, v.Witness)
+		}
+		if v.Witness.M <= v.Witness.Bound {
+			t.Fatalf("%s: witness numbers do not violate the bound: %+v", eng.name, v.Witness)
+		}
+	}
+}
+
+// TestGuardEdgeCountK5 pins the global stage: K5 exceeds 3n-6 outright.
+func TestGuardEdgeCountK5(t *testing.T) {
+	g := graph.New(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if _, err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	v, err := ValidateGraph(g, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK || v.Witness.Reason != ReasonEdgeCount {
+		t.Fatalf("K5 verdict OK=%v reason=%v, want edge-count", v.OK, v.Witness)
+	}
+}
+
+// TestGuardShapeAndConnectivity pins the centralized prechecks.
+func TestGuardShapeAndConnectivity(t *testing.T) {
+	v, err := ValidateGraph(graph.New(3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK || v.Witness.Reason != ReasonShape {
+		t.Fatalf("edgeless graph: verdict OK=%v reason=%v, want shape", v.OK, v.Witness)
+	}
+	g := graph.New(4)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err = ValidateGraph(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK || v.Witness.Reason != ReasonDisconnected {
+		t.Fatalf("two components: verdict OK=%v reason=%v, want disconnected", v.OK, v.Witness)
+	}
+}
+
+// TestGuardOracleAgreement pins the distributed tester against its
+// centralized oracle on accepted and rejected inputs: same centers, same
+// decision, same reason.
+func TestGuardOracleAgreement(t *testing.T) {
+	cases := []*graph.Graph{
+		denseTestGraph(t, 64, 7),
+		denseTestGraph(t, 40, 6),
+		denseTestGraph(t, 40, 1), // plain path: accepted
+	}
+	if in, err := gen.ByName("grid", 25, 3); err == nil {
+		cases = append(cases, in.G)
+	}
+	for i, g := range cases {
+		for _, opt := range []Options{{Seed: 11, Exhaustive: true}, {Seed: 7, Centers: 8}, {Seed: 9, Radius: 2, Exhaustive: true}} {
+			want := OracleTest(g, opt)
+			v, err := ValidateGraph(g, opt)
+			if err != nil {
+				t.Fatalf("case %d: %v", i, err)
+			}
+			if (want == nil) != v.OK {
+				t.Fatalf("case %d: oracle witness %+v, distributed OK=%v", i, want, v.OK)
+			}
+			if want != nil {
+				got := v.Witness
+				if got.Reason != want.Reason || got.Center != want.Center || got.N != want.N || got.M != want.M {
+					t.Fatalf("case %d: oracle %+v, distributed %+v", i, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestGuardVerdictChecks pins the stage accounting: an accepting run
+// records every stage with cost, a rejecting run ends at the failing one.
+func TestGuardVerdictChecks(t *testing.T) {
+	in, err := gen.ByName("wheel", 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ValidateInstance(in, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{"shape", "connectivity", "rotation", "edge-count", "density", "euler"}
+	if len(v.Checks) != len(wantStages) {
+		t.Fatalf("accepting verdict has %d checks, want %d: %+v", len(v.Checks), len(wantStages), v.Checks)
+	}
+	distributed := 0
+	for i, c := range v.Checks {
+		if c.Name != wantStages[i] || !c.OK {
+			t.Fatalf("check %d = %+v, want OK %q", i, c, wantStages[i])
+		}
+		if c.Messages > 0 {
+			distributed++
+		}
+	}
+	if distributed < 3 {
+		t.Fatalf("only %d stages report message cost; rotation, tester and euler should all be distributed", distributed)
+	}
+	if v.Rounds <= 0 || v.Messages <= 0 {
+		t.Fatalf("verdict totals empty: rounds=%d messages=%d", v.Rounds, v.Messages)
+	}
+}

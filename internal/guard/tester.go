@@ -1,0 +1,324 @@
+package guard
+
+import (
+	"fmt"
+	"math/rand"
+
+	"planardfs/internal/congest"
+	"planardfs/internal/graph"
+	"planardfs/internal/shortcut"
+	"planardfs/internal/trace"
+)
+
+// The CONGEST planarity property tester, in the Levi–Medina–Ron style
+// (arxiv 1805.10657): one-sided error — a planar input is never rejected,
+// a non-planar input is rejected when a concrete witness is found. Two
+// witness classes are implemented:
+//
+//   - edge count: one part-wise degree sum delivers 2m to every vertex;
+//     m > 3n-6 contradicts Euler's bound for every planar simple graph.
+//   - dense region: around each of a set of seeded centers, a ball of
+//     radius r is flooded as a real node program; the members convergecast
+//     their count and member-incident half-edge count up the ball's BFS
+//     tree, and the center checks the planar density bound m_S <= 3n_S - 6
+//     on the induced subgraph. Any subgraph of a planar graph is planar,
+//     so the check never fires on planar inputs — but a planted dense
+//     region (a K5/K7-ish cluster) violates it locally.
+//
+// Centers are derived from Options.Seed (Exhaustive sweeps every vertex),
+// so a verdict is a deterministic function of (graph, options); the
+// centralized oracle below recomputes the identical decision for
+// cross-checking.
+
+// Ball-program message kinds.
+const (
+	// msgBallGrow floods the ball: [dist, parentFlag]. parentFlag is 1 on
+	// the port toward the sender's flood parent (the child-claim bit).
+	msgBallGrow = 1
+	// msgBallReport convergecasts subtree aggregates: [size, halfEdges].
+	msgBallReport = 2
+)
+
+// ballNode is the per-vertex program of one ball probe. It is
+// round-scheduled (not event-driven): membership counts are final once
+// every flood message has landed, which the program detects by the round
+// number, so it must be stepped every round.
+type ballNode struct {
+	deg    int
+	center bool
+	radius int
+
+	dist       int // -1 while not a member
+	parentPort int
+	childPorts []int
+	memberNbrs int // ports that delivered a grow = member neighbours
+	adopted    bool
+	reported   bool
+
+	gotReports int
+	accSize    int
+	accHalf    int
+
+	// Center outputs.
+	judged bool
+	nS     int
+	mS2    int // 2 * edges inside the ball
+}
+
+// Round implements congest.Node.
+func (bn *ballNode) Round(round int, recv []congest.Incoming) ([]congest.Outgoing, bool) {
+	var out []congest.Outgoing
+	if round == 0 && bn.center {
+		bn.dist = 0
+		bn.parentPort = -1
+		bn.adopted = true
+		out = bn.announce()
+	}
+	for _, in := range recv {
+		switch in.Msg.Kind {
+		case msgBallGrow:
+			a := in.Msg.Args
+			if len(a) != 2 {
+				continue
+			}
+			bn.memberNbrs++
+			if a[1] == 1 {
+				bn.childPorts = append(bn.childPorts, in.Port)
+			}
+			if !bn.adopted && a[0]+1 <= bn.radius {
+				// BFS property: the first grow to arrive carries the
+				// minimal distance, so the first adoption is final.
+				bn.dist = a[0] + 1
+				bn.parentPort = in.Port
+				bn.adopted = true
+				out = bn.announce()
+			}
+		case msgBallReport:
+			a := in.Msg.Args
+			if len(a) != 2 {
+				continue
+			}
+			bn.accSize += a[0]
+			bn.accHalf += a[1]
+			bn.gotReports++
+		}
+	}
+	if !bn.adopted {
+		// Non-members stay silent; boundary neighbours' grows are ignored.
+		return out, true
+	}
+	// Flood messages are all delivered by round radius+1 (adoptions happen
+	// at round == dist <= radius; their announcements land one round
+	// later), so from round radius+2 on, memberNbrs and childPorts are
+	// final and the convergecast can fire leaf-first.
+	if !bn.reported && round >= bn.radius+2 && bn.gotReports == len(bn.childPorts) {
+		size := 1 + bn.accSize
+		half := bn.memberNbrs + bn.accHalf
+		if bn.center {
+			bn.nS = size
+			bn.mS2 = half
+			bn.judged = true
+			bn.reported = true
+		} else {
+			out = append(out, congest.Outgoing{Port: bn.parentPort, Msg: congest.Message{
+				Kind: msgBallReport, Args: []int{size, half},
+			}})
+			bn.reported = true
+		}
+	}
+	return out, bn.reported
+}
+
+// announce broadcasts the adoption: a grow on every port, with the
+// child-claim bit set toward the flood parent.
+func (bn *ballNode) announce() []congest.Outgoing {
+	out := make([]congest.Outgoing, bn.deg)
+	for p := range out {
+		flag := 0
+		if p == bn.parentPort {
+			flag = 1
+		}
+		out[p] = congest.Outgoing{Port: p, Msg: congest.Message{
+			Kind: msgBallGrow, Args: []int{bn.dist, flag},
+		}}
+	}
+	return out
+}
+
+// centersFor derives the tester's ball centers for an n-vertex graph:
+// every vertex under Exhaustive, otherwise a seeded sample without
+// replacement. Shared by the distributed tester and the oracle so their
+// decisions coincide.
+func centersFor(n int, opt Options) []int {
+	k := opt.centers(n)
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x67756172645f7473))
+	perm := rng.Perm(n)
+	out := append([]int(nil), perm[:k]...)
+	return out
+}
+
+// probeBall runs one ball program and returns the center's measurement.
+func probeBall(g *graph.Graph, center, radius int, opt Options) (nS, mS2, rounds int, messages int64, err error) {
+	n := g.N()
+	nw := opt.network(g, 3)
+	nodes := make([]congest.Node, n)
+	var cn *ballNode
+	for v := 0; v < n; v++ {
+		bn := &ballNode{deg: g.Degree(v), center: v == center, radius: radius, dist: -1, parentPort: -1}
+		if bn.center {
+			cn = bn
+		}
+		nodes[v] = bn
+	}
+	r, err := nw.Run(nodes, 2*radius+16)
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("guard: ball probe at %d: %w", center, err)
+	}
+	if !cn.judged {
+		return 0, 0, 0, 0, fmt.Errorf("guard: ball probe at %d did not converge", center)
+	}
+	return cn.nS, cn.mS2, r, nw.Stats().Messages, nil
+}
+
+// runEdgeCountCheck aggregates the degree sum distributively and applies
+// the global planar bound. A nil witness means acceptance.
+func runEdgeCountCheck(g *graph.Graph, opt Options) (*Witness, int, int64, error) {
+	n := g.N()
+	tr := trace.OrNop(opt.Tracer)
+	sp := tr.StartSpan(trace.LayerCert, "guard.edge-count")
+	defer sp.End()
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		degs[v] = g.Degree(v)
+	}
+	part, err := shortcut.NewPartition(make([]int, n))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	res, err := shortcut.RunPAOn(opt.network(g, 0), 0, part, degs, congest.OpSum)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("guard: degree aggregation: %w", err)
+	}
+	m2 := res.Values[0]
+	sp.SetAttr("m2", int64(m2))
+	if n >= 3 && m2 > 6*n-12 {
+		return &Witness{
+			Reason: ReasonEdgeCount,
+			Detail: fmt.Sprintf("%d edges on %d vertices exceeds the planar bound %d", m2/2, n, 3*n-6),
+			Vertex: -1,
+			N:      n, M: m2 / 2, Bound: 3*n - 6,
+		}, res.Rounds, res.Stats.Messages, nil
+	}
+	return nil, res.Rounds, res.Stats.Messages, nil
+}
+
+// runDensityCheck probes every center's ball in sequence and applies the
+// planar density bound to each induced subgraph. A nil witness means no
+// ball was dense.
+func runDensityCheck(g *graph.Graph, opt Options) (*Witness, int, int64, error) {
+	tr := trace.OrNop(opt.Tracer)
+	sp := tr.StartSpan(trace.LayerCert, "guard.density")
+	defer sp.End()
+	radius := opt.radius()
+	centers := centersFor(g.N(), opt)
+	sp.SetAttr("centers", int64(len(centers)))
+	sp.SetAttr("radius", int64(radius))
+	rounds := 0
+	var messages int64
+	for _, c := range centers {
+		nS, mS2, r, msgs, err := probeBall(g, c, radius, opt)
+		if err != nil {
+			return nil, rounds, messages, err
+		}
+		rounds += r
+		messages += msgs
+		if nS >= 3 && mS2 > 6*nS-12 {
+			return &Witness{
+				Reason: ReasonDenseRegion,
+				Detail: fmt.Sprintf("ball of radius %d around vertex %d induces %d edges on %d vertices (planar bound %d)", radius, c, mS2/2, nS, 3*nS-6),
+				Vertex: -1,
+				N:      nS, M: mS2 / 2, Bound: 3*nS - 6,
+				Center: c, Radius: radius,
+			}, rounds, messages, nil
+		}
+	}
+	return nil, rounds, messages, nil
+}
+
+// OracleTest is the deterministic centralized oracle of the property
+// tester: it recomputes the edge-count and ball-density decisions from
+// global data — same centers, same radius, same bounds — and returns the
+// first witness or nil. The tester cross-validation tests assert the
+// distributed and centralized decisions are identical.
+func OracleTest(g *graph.Graph, opt Options) *Witness {
+	n := g.N()
+	if n >= 3 && g.M() > 3*n-6 {
+		return &Witness{
+			Reason: ReasonEdgeCount,
+			Detail: fmt.Sprintf("%d edges on %d vertices exceeds the planar bound %d", g.M(), n, 3*n-6),
+			Vertex: -1,
+			N:      n, M: g.M(), Bound: 3*n - 6,
+		}
+	}
+	radius := opt.radius()
+	for _, c := range centersFor(n, opt) {
+		member := ballMembers(g, c, radius)
+		nS := 0
+		mS2 := 0
+		for v := 0; v < n; v++ {
+			if !member[v] {
+				continue
+			}
+			nS++
+			for _, w := range g.Neighbors(v) {
+				if member[w] {
+					mS2++
+				}
+			}
+		}
+		if nS >= 3 && mS2 > 6*nS-12 {
+			return &Witness{
+				Reason: ReasonDenseRegion,
+				Detail: fmt.Sprintf("ball of radius %d around vertex %d induces %d edges on %d vertices (planar bound %d)", radius, c, mS2/2, nS, 3*nS-6),
+				Vertex: -1,
+				N:      nS, M: mS2 / 2, Bound: 3*nS - 6,
+				Center: c, Radius: radius,
+			}
+		}
+	}
+	return nil
+}
+
+// ballMembers marks the vertices within the given BFS radius of center.
+func ballMembers(g *graph.Graph, center, radius int) []bool {
+	member := make([]bool, g.N())
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[center] = 0
+	member[center] = true
+	queue := []int{center}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] == radius {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				member[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return member
+}

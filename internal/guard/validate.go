@@ -1,0 +1,169 @@
+package guard
+
+import (
+	"fmt"
+
+	"planardfs/internal/cert"
+	"planardfs/internal/gen"
+	"planardfs/internal/graph"
+	"planardfs/internal/planar"
+	"planardfs/internal/trace"
+)
+
+// ValidateInstance validates an embedded instance end to end: shape and
+// connectivity prechecks, the distributed rotation/endpoint consistency
+// check, the planarity property tester, and the Euler-count certification
+// of the claimed rotation system. The returned error reports
+// infrastructure failures only; a bad input is an accepting=false verdict,
+// and verdict.Err() converts it to a typed RejectionError.
+func ValidateInstance(in *gen.Instance, opt Options) (*Verdict, error) {
+	g := in.G
+	rot := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		rot[v] = in.Emb.NeighborOrder(v)
+	}
+	return ValidateRotations(g, rot, opt)
+}
+
+// ValidateRotations validates a graph together with a claimed rotation
+// system in wire form (per-vertex clockwise neighbour lists, exactly what
+// an untrusted submission carries). Stages run in order and stop at the
+// first rejection.
+func ValidateRotations(g *graph.Graph, rot [][]int, opt Options) (*Verdict, error) {
+	tr := trace.OrNop(opt.Tracer)
+	sp := tr.StartSpan(trace.LayerCert, "guard.validate")
+	defer sp.End()
+	v := &Verdict{OK: true}
+
+	if !shapeStage(v, g, len(rot)) {
+		return v, nil
+	}
+	if !connectivityStage(v, g) {
+		return v, nil
+	}
+
+	// Distributed rotation/endpoint consistency.
+	rejectors, rounds, msgs, err := runRotationCheck(g, rot, opt)
+	if err != nil {
+		return nil, err
+	}
+	v.addCheck("rotation", len(rejectors) == 0, rounds, msgs)
+	if len(rejectors) > 0 {
+		reason, detail := diagnoseRotation(g, rot, rejectors[0])
+		return v.reject(Witness{
+			Reason: reason, Detail: detail,
+			Vertex: rejectors[0], Rejectors: len(rejectors),
+		}), nil
+	}
+
+	// Planarity property tester (graph-level, one-sided error).
+	if !testerStages(v, g, opt) {
+		return v, nil
+	}
+	if err := v.testerErr; err != nil {
+		return nil, err
+	}
+
+	// Euler count: the internal/cert embedding scheme as a first-class
+	// guard stage. The rotation stage guaranteed a valid permutation
+	// system, so the embedding constructor cannot fail here.
+	emb, err := planar.FromNeighborOrders(g, rot)
+	if err != nil {
+		return nil, fmt.Errorf("guard: rotation stage accepted an unbuildable rotation system: %w", err)
+	}
+	ev, err := cert.VerifyEmbedding(g, cert.ProveEmbedding(emb), cert.Options{
+		Sequential: opt.Sequential, Workers: opt.Workers, Tracer: opt.Tracer,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("guard: euler certification: %w", err)
+	}
+	v.addCheck("euler", ev.OK, ev.VerifierRounds+ev.AggRounds, ev.Stats.Messages)
+	if !ev.OK {
+		return v.reject(Witness{
+			Reason:    ReasonEuler,
+			Detail:    fmt.Sprintf("claimed rotation system has Euler sum %d (want 4): genus %d, not a planar embedding", ev.EulerSum, (4-ev.EulerSum)/4),
+			Vertex:    -1,
+			Rejectors: len(ev.Rejectors),
+			EulerSum:  ev.EulerSum,
+		}), nil
+	}
+	sp.SetAttr("ok", 1)
+	return v, nil
+}
+
+// ValidateGraph validates a bare graph (no embedding claims): shape and
+// connectivity prechecks plus the planarity property tester. One-sided
+// error applies: a connected planar graph is always accepted, a
+// non-planar graph is rejected when an edge-count or dense-region witness
+// is found.
+func ValidateGraph(g *graph.Graph, opt Options) (*Verdict, error) {
+	v := &Verdict{OK: true}
+	if !shapeStage(v, g, g.N()) {
+		return v, nil
+	}
+	if !connectivityStage(v, g) {
+		return v, nil
+	}
+	if !testerStages(v, g, opt) {
+		return v, nil
+	}
+	if err := v.testerErr; err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// shapeStage applies the structural admission checks. It returns false
+// when validation must stop (the verdict already carries the witness).
+func shapeStage(v *Verdict, g *graph.Graph, rotLen int) bool {
+	ok := g.N() >= 1 && g.M() >= 1 && rotLen == g.N()
+	v.addCheck("shape", ok, 0, 0)
+	if ok {
+		return true
+	}
+	detail := fmt.Sprintf("need n >= 1 and m >= 1, got n=%d m=%d", g.N(), g.M())
+	if g.N() >= 1 && g.M() >= 1 {
+		detail = fmt.Sprintf("rotation table has %d rows for %d vertices", rotLen, g.N())
+	}
+	v.reject(Witness{Reason: ReasonShape, Detail: detail, Vertex: -1})
+	return false
+}
+
+// connectivityStage applies the centralized connectivity precheck (the
+// distributed stages and Euler's formula all assume one component).
+func connectivityStage(v *Verdict, g *graph.Graph) bool {
+	ok := g.Connected()
+	v.addCheck("connectivity", ok, 0, 0)
+	if ok {
+		return true
+	}
+	v.reject(Witness{Reason: ReasonDisconnected, Detail: "graph is not connected", Vertex: -1})
+	return false
+}
+
+// testerStages runs the distributed edge-count and ball-density stages.
+// It returns false when validation must stop; infrastructure errors are
+// parked on the verdict for the caller to surface.
+func testerStages(v *Verdict, g *graph.Graph, opt Options) bool {
+	w, rounds, msgs, err := runEdgeCountCheck(g, opt)
+	if err != nil {
+		v.testerErr = err
+		return false
+	}
+	v.addCheck("edge-count", w == nil, rounds, msgs)
+	if w != nil {
+		v.reject(*w)
+		return false
+	}
+	w, rounds, msgs, err = runDensityCheck(g, opt)
+	if err != nil {
+		v.testerErr = err
+		return false
+	}
+	v.addCheck("density", w == nil, rounds, msgs)
+	if w != nil {
+		v.reject(*w)
+		return false
+	}
+	return true
+}

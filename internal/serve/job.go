@@ -108,6 +108,10 @@ type job struct {
 	id  string
 	req JobRequest
 	rec *trace.Recorder
+	// in caches the inline instance already decoded, checked and
+	// guard-admitted by handleSubmit, so the worker never re-parses (or
+	// re-trusts) the raw submission bytes. Nil for generator jobs.
+	in *gen.Instance
 
 	cancel context.CancelFunc
 
@@ -239,11 +243,15 @@ func (s *Server) runJob(j *job) {
 	waitUS := (nowNanos() - j.submittedNS) / 1000
 	s.metrics.Observe("serve.latency.queue_wait_us", waitUS)
 
-	in, err := j.req.instance()
-	if err != nil {
-		j.fail(err.Error())
-		s.metrics.Count("serve.jobs.failed", 1)
-		return
+	in := j.in
+	if in == nil {
+		var err error
+		in, err = j.req.instance()
+		if err != nil {
+			j.fail(err.Error())
+			s.metrics.Count("serve.jobs.failed", 1)
+			return
+		}
 	}
 	// Non-default engines get their own cache entries: the content address
 	// keys the default engine's decomposition, hash:engine the others, so

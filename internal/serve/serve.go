@@ -29,12 +29,15 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"planardfs/internal/gen"
+	"planardfs/internal/guard"
 	"planardfs/internal/trace"
 )
 
@@ -165,9 +168,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 }
 
-// httpError is the uniform error body.
+// httpError is the uniform error body. Field locates a malformed request
+// field (decode-time 400s); Witness carries the guard's typed rejection
+// evidence (semantic 422s).
 type httpError struct {
-	Error string `json:"error"`
+	Error   string         `json:"error"`
+	Field   string         `json:"field,omitempty"`
+	Witness *guard.Witness `json:"witness,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -200,6 +207,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	inline, ok := s.admitInline(w, &req)
+	if !ok {
+		return
+	}
 
 	s.jobsMu.Lock()
 	s.nextID++
@@ -207,6 +218,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id:          fmt.Sprintf("j%d", s.nextID),
 		req:         req,
 		rec:         trace.NewRecorder(),
+		in:          inline,
 		state:       StateQueued,
 		submittedNS: start,
 	}
@@ -231,6 +243,64 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Observe("serve.latency.submit_us", sinceMicros(start))
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// admitInline decodes, field-checks and guard-validates an inline graph
+// submission before it consumes a queue slot, writing the rejection and
+// returning ok=false on any violation: a malformed body is a 400 naming
+// the offending field, a structurally well-formed but non-planar or
+// corrupted-embedding graph is a 422 carrying the guard's typed witness.
+// Generator requests pass through untouched (their instances are valid by
+// construction). On admission the decoded instance is returned so the
+// worker never re-parses the raw bytes.
+func (s *Server) admitInline(w http.ResponseWriter, req *JobRequest) (*gen.Instance, bool) {
+	if len(req.Graph) == 0 {
+		return nil, true
+	}
+	wire, err := gen.DecodeWire(req.Graph)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "graph: %v", err)
+		return nil, false
+	}
+	if wire.N > s.opts.MaxN {
+		writeJSON(w, http.StatusBadRequest, httpError{
+			Error: fmt.Sprintf("graph: n = %d exceeds the server limit %d", wire.N, s.opts.MaxN),
+			Field: "n",
+		})
+		return nil, false
+	}
+	if err := wire.Check(); err != nil {
+		body := httpError{Error: err.Error()}
+		var fe *gen.FieldError
+		if errors.As(err, &fe) {
+			body.Field = fe.Field
+			if fe.Index >= 0 {
+				body.Field = fmt.Sprintf("%s[%d]", fe.Field, fe.Index)
+			}
+		}
+		s.metrics.Count("serve.jobs.malformed", 1)
+		writeJSON(w, http.StatusBadRequest, body)
+		return nil, false
+	}
+	in, err := wire.Build()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "graph: %v", err)
+		return nil, false
+	}
+	verdict, err := guard.ValidateInstance(in, guard.Options{Seed: 1})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "guard: %v", err)
+		return nil, false
+	}
+	if !verdict.OK {
+		s.metrics.Count("serve.jobs.rejected_input", 1)
+		writeJSON(w, http.StatusUnprocessableEntity, httpError{
+			Error:   fmt.Sprintf("graph rejected (%s): %s", verdict.Witness.Reason, verdict.Witness.Detail),
+			Witness: verdict.Witness,
+		})
+		return nil, false
+	}
+	return in, true
 }
 
 // retryAfterSeconds estimates the backoff hint from the recent build

@@ -39,6 +39,7 @@ import (
 	"planardfs/internal/dist"
 	"planardfs/internal/gen"
 	"planardfs/internal/graph"
+	"planardfs/internal/guard"
 	"planardfs/internal/planar"
 	"planardfs/internal/separator"
 	"planardfs/internal/sepengine"
@@ -416,6 +417,9 @@ const (
 	RecoveryCertifiedRetry = chaos.OutcomeCertifiedRetry
 	RecoveryDegraded       = chaos.OutcomeDegraded
 	RecoveryFailed         = chaos.OutcomeFailed
+	// RecoveryRejectedInput: the guard stage of a guarded run rejected the
+	// input before any producer attempt ran.
+	RecoveryRejectedInput = chaos.OutcomeRejectedInput
 )
 
 // NewFaultPlan returns a plan deriving spec-sized random faults from seed.
@@ -446,6 +450,14 @@ func BuildDFSTreeWithRecovery(in *Instance, root int, plan *FaultPlan, pol Recov
 // partial result). This is the form the serve layer's job cancellation and
 // graceful shutdown run through.
 func BuildDFSTreeWithRecoveryContext(ctx context.Context, in *Instance, root int, plan *FaultPlan, pol RecoveryPolicy) ([]int, *RecoveryReport, error) {
+	primary, fallback := dfsRecoveryStages(in, root, plan, pol)
+	return chaos.RunWithRecoveryContext(ctx, primary, &fallback, pol)
+}
+
+// dfsRecoveryStages builds the supervised stage pair of the DFS recovery
+// runtime: the charged Theorem 2 pipeline as primary, Awerbuch's
+// message-level token DFS as fallback.
+func dfsRecoveryStages(in *Instance, root int, plan *FaultPlan, pol RecoveryPolicy) (chaos.Stage[[]int], chaos.Stage[[]int]) {
 	g := in.G
 	opt := CertOptions{Tracer: pol.Tracer}
 	var structural chaos.Counts
@@ -474,7 +486,67 @@ func BuildDFSTreeWithRecoveryContext(ctx context.Context, in *Instance, root int
 		Faults:  func() chaos.Counts { return structural },
 	}
 	fallback := chaos.AwerbuchDFS(g, root, plan, opt)
-	return chaos.RunWithRecoveryContext(ctx, primary, &fallback, pol)
+	return primary, fallback
+}
+
+// Input validation (internal/guard): the admission subsystem that runs
+// before the Theorem 2 pipeline and rejects non-planar and
+// corrupted-embedding inputs with typed, certifiable verdicts — a
+// distributed rotation/endpoint consistency check, a one-sided-error
+// CONGEST planarity property tester, and the Euler-count certification,
+// all as real node programs on the simulator.
+type (
+	// GuardVerdict is the outcome of a validation run: per-stage results
+	// with measured CONGEST cost, and a witness on rejection.
+	GuardVerdict = guard.Verdict
+	// GuardWitness is the concrete evidence attached to a rejection.
+	GuardWitness = guard.Witness
+	// GuardOptions configure a validation run (engine, tester seed and
+	// ball budget, tracing).
+	GuardOptions = guard.Options
+	// GuardReason classifies a rejection (shape, disconnected, rotation,
+	// endpoint-mismatch, edge-count, dense-region, euler).
+	GuardReason = guard.Reason
+	// GuardRejectionError is the typed error form of a rejecting verdict.
+	GuardRejectionError = guard.RejectionError
+)
+
+// ErrInputRejected is the sentinel every guard rejection matches:
+// errors.Is(err, ErrInputRejected) distinguishes "the input is bad" from
+// infrastructure failures.
+var ErrInputRejected = guard.ErrRejected
+
+// ValidateEmbedding validates an instance's graph and claimed embedding
+// end to end — shape and connectivity prechecks, the distributed rotation
+// consistency check, the planarity property tester, and the Euler-count
+// certification. A bad input is a rejecting verdict (verdict.Err()
+// returns the typed GuardRejectionError), not an error.
+func ValidateEmbedding(in *Instance, opt GuardOptions) (*GuardVerdict, error) {
+	return guard.ValidateInstance(in, opt)
+}
+
+// ValidatePlanarity validates a bare graph (no embedding claims) with the
+// prechecks and the one-sided-error planarity tester: a connected planar
+// graph is always accepted; a non-planar graph is rejected when an
+// edge-count or dense-region witness is found.
+func ValidatePlanarity(g *Graph, opt GuardOptions) (*GuardVerdict, error) {
+	return guard.ValidateGraph(g, opt)
+}
+
+// BuildDFSTreeGuarded is BuildDFSTreeWithRecoveryContext with the guard
+// run at admission: the instance is validated before any pipeline attempt,
+// and a rejection ends the run with RecoveryRejectedInput (the report
+// carries the typed rejection; no producer ever sees the bad input).
+func BuildDFSTreeGuarded(ctx context.Context, in *Instance, root int, gopt GuardOptions, plan *FaultPlan, pol RecoveryPolicy) ([]int, *RecoveryReport, error) {
+	primary, fallback := dfsRecoveryStages(in, root, plan, pol)
+	admit := func(context.Context) (error, error) {
+		v, err := guard.ValidateInstance(in, gopt)
+		if err != nil {
+			return nil, err
+		}
+		return v.Err(), nil
+	}
+	return chaos.RunWithRecoveryGuarded(ctx, admit, primary, &fallback, pol)
 }
 
 // Simulation-as-a-service (internal/serve): an embeddable HTTP job server
